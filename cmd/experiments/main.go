@@ -1,0 +1,63 @@
+// Command experiments regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	experiments [-full] [-seed N] [-fig name[,name...]] [-list]
+//
+// Without -fig it runs every registered figure. -full switches from the
+// seconds-scale Quick profile to the paper-proportioned Full profile
+// (minutes). Output is the text-table equivalent of each figure's
+// series, written to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the paper-proportioned Full profile (minutes)")
+	seed := flag.Int64("seed", 42, "deterministic seed for all experiments")
+	figs := flag.String("fig", "", "comma-separated figure names (default: all)")
+	list := flag.Bool("list", false, "list figure names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Scale: experiments.Quick, Seed: *seed}
+	if *full {
+		cfg.Scale = experiments.Full
+	}
+
+	names := experiments.Names()
+	if *figs != "" {
+		names = strings.Split(*figs, ",")
+	}
+
+	exit := 0
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		start := time.Now()
+		res, err := experiments.Run(name, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("### %s (elapsed %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		for _, t := range res.Tables() {
+			fmt.Println(t)
+		}
+	}
+	os.Exit(exit)
+}

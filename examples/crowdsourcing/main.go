@@ -1,0 +1,67 @@
+// Crowdsourcing: the paper's full Section-2 framework in motion — a
+// fleet of vehicle workers cycling available → occupied → available, a
+// Poisson task stream, per-snapshot assignment from obfuscated reports —
+// and what privacy costs the platform (assignment regret, task latency).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/discretize"
+	"repro/internal/roadnet"
+	"repro/internal/scsim"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(9))
+	g := roadnet.RomeLike(rng, roadnet.RomeLikeConfig{
+		DowntownRows: 3, DowntownCols: 3, DowntownSpacing: 0.3,
+		RingRadiusFactor: 1.5, Radials: 4, SuburbDepth: 1,
+		SuburbSpacing: 0.4, OneWayFrac: 0.5, WeightJitter: 0.15,
+	})
+	part, err := discretize.New(g, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := scsim.Config{
+		Workers:       10,
+		TaskRate:      1.0 / 45, // a task every ~45 s
+		SnapshotEvery: 30,
+		Duration:      2 * 3600,
+		SpeedKmh:      30,
+		ServiceTime:   120,
+	}
+
+	fmt.Printf("city: %d road segments, %d intervals; fleet of %d, ~%d tasks/h\n\n",
+		g.NumEdges(), part.K(), cfg.Workers, int(3600*cfg.TaskRate))
+
+	fmt.Println("privacy        tasks done   mean wait   mean travel   assignment regret")
+	for _, eps := range []float64{0, 2, 5, 10} {
+		c := cfg
+		label := "none (exact)"
+		if eps > 0 {
+			pr, err := core.NewProblem(part, core.Config{Epsilon: eps})
+			if err != nil {
+				log.Fatal(err)
+			}
+			sol, err := core.SolveCG(pr, core.CGOptions{Xi: -0.1, RelGap: 0.05})
+			if err != nil {
+				log.Fatal(err)
+			}
+			c.Mechanism = sol.Mechanism
+			label = fmt.Sprintf("ε = %-2.0f /km  ", eps)
+		}
+		m, err := scsim.Run(rand.New(rand.NewSource(100)), part, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s   %6d      %6.0f s     %6.3f km     %8.4f km/snapshot\n",
+			label, m.TasksCompleted, m.MeanWait, m.MeanTravel, m.AssignmentRegret)
+	}
+	fmt.Println("\nstricter privacy (smaller ε) costs the platform more regret per")
+	fmt.Println("assignment snapshot; the road-aware mechanism keeps it modest.")
+}

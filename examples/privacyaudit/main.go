@@ -1,0 +1,92 @@
+// Privacy audit: attack a solved obfuscation mechanism with the paper's
+// two threat models — the single-report Bayesian optimal-inference
+// attack and the multi-report HMM (Viterbi) attack whose transition
+// model is learned from fleet traces — across reporting cadences
+// (Fig. 15's experiment as a library walkthrough).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/discretize"
+	"repro/internal/roadnet"
+	"repro/internal/trace"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(3))
+	g := roadnet.RomeLike(rng, roadnet.RomeLikeConfig{
+		DowntownRows: 3, DowntownCols: 3, DowntownSpacing: 0.3,
+		RingRadiusFactor: 1.5, Radials: 4, SuburbDepth: 1,
+		SuburbSpacing: 0.4, OneWayFrac: 0.5, WeightJitter: 0.15,
+	})
+	part, err := discretize.New(g, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fleet traces: priors for the defender, transitions for the attacker.
+	traces, err := trace.Simulate(rng, g, trace.SimConfig{
+		Vehicles: 30, Duration: 1800, RecordEvery: 7,
+		SpeedKmh: 30, CenterBias: 1.2, DropoutProb: 0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prior := trace.PriorFromTraces(part, traces, 0.5)
+
+	pr, err := core.NewProblem(part, core.Config{Epsilon: 5, PriorP: prior, PriorQ: prior})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, err := core.SolveCG(pr, core.CGOptions{Xi: -0.1, RelGap: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mech := sol.Mechanism
+	fmt.Printf("mechanism: K=%d, ETDD %.4f km, Geo-I violation %.2g\n\n",
+		part.K(), sol.ETDD, pr.GeoIViolation(mech))
+
+	bayes, err := attack.NewBayes(mech, prior)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Bayesian optimal-inference attack: expected error %.4f km\n\n", bayes.AdvError())
+
+	fmt.Println("HMM (Viterbi) attack by report interval:")
+	fmt.Println("  interval   Bayes err   HMM err")
+	victim := traces[0]
+	for _, stride := range []int{4, 8, 12, 16} {
+		var seqs [][]int
+		for _, tr := range traces[1:] { // attacker learns from the rest of the fleet
+			if s := trace.IntervalSequence(part, tr, stride); len(s) > 1 {
+				seqs = append(seqs, s)
+			}
+		}
+		trans := attack.LearnTransitions(part.K(), seqs, 1e-3)
+		hmm, err := attack.NewHMM(mech, prior, trans)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		truth := trace.IntervalSequence(part, victim, stride)
+		reports := make([]int, len(truth))
+		for t, i := range truth {
+			reports[t] = mech.SampleInterval(rng, i)
+		}
+		hmmErr := hmm.SequenceError(truth, reports)
+		bErr := 0.0
+		for t, i := range truth {
+			bErr += part.MidDistMin(i, bayes.Estimate(reports[t]))
+		}
+		bErr /= float64(len(truth))
+		fmt.Printf("  %5.0f s   %8.4f km  %7.4f km\n",
+			float64(stride)*7, bErr, hmmErr)
+	}
+	fmt.Println("\nshorter report intervals correlate consecutive locations, so the")
+	fmt.Println("HMM adversary infers more (lower error = less privacy).")
+}

@@ -1,0 +1,377 @@
+// Package attack implements the paper's two threat models against a
+// solved obfuscation mechanism (Section 3.2.2):
+//
+//   - the Bayesian optimal-inference attack on a single report: the
+//     adversary, knowing the mechanism Z and the worker prior f_P,
+//     inverts the report by Bayes' rule and outputs the interval
+//     minimising the posterior-expected travel distance. The resulting
+//     expected error is the paper's AdvError privacy metric.
+//   - the spatial-correlation-aware attack on a report sequence: a
+//     hidden Markov model whose hidden states are true intervals,
+//     whose emissions are the mechanism's rows, and whose transition
+//     matrix is learned from floating-vehicle data (Eq. 5); decoding is
+//     Viterbi maximum-likelihood sequence inference.
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/discretize"
+)
+
+// Bayes is the single-report optimal-inference adversary.
+type Bayes struct {
+	part  *discretize.Partition
+	mech  *core.Mechanism
+	prior []float64
+
+	// est[j] is the adversary's optimal estimate for report j.
+	est []int
+	// pObs[j] is the marginal probability of observing report j.
+	pObs []float64
+}
+
+// NewBayes precomputes the adversary's optimal estimate for every
+// possible report. prior must match the mechanism's partition; nil means
+// uniform.
+func NewBayes(m *core.Mechanism, prior []float64) (*Bayes, error) {
+	k := m.K()
+	if prior == nil {
+		prior = core.UniformPrior(k)
+	}
+	if len(prior) != k {
+		return nil, fmt.Errorf("attack: prior has %d entries, want %d", len(prior), k)
+	}
+	b := &Bayes{
+		part:  m.Part,
+		mech:  m,
+		prior: prior,
+		est:   make([]int, k),
+		pObs:  make([]float64, k),
+	}
+	for j := 0; j < k; j++ {
+		post := b.Posterior(j)
+		b.pObs[j] = 0
+		for i := 0; i < k; i++ {
+			b.pObs[j] += prior[i] * m.Prob(i, j)
+		}
+		b.est[j] = optimalRemap(b.part, post)
+	}
+	return b, nil
+}
+
+// Posterior returns Pr(true = i | report = j) for all i.
+func (b *Bayes) Posterior(j int) []float64 {
+	k := b.mech.K()
+	post := make([]float64, k)
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		post[i] = b.prior[i] * b.mech.Prob(i, j)
+		sum += post[i]
+	}
+	if sum > 0 {
+		for i := range post {
+			post[i] /= sum
+		}
+	}
+	return post
+}
+
+// Estimate returns the adversary's optimal guess for report j.
+func (b *Bayes) Estimate(j int) int { return b.est[j] }
+
+// AdvError returns the exact expected travel distance between the true
+// interval and the adversary's optimal estimate:
+//
+//	Σ_i f_P(i) Σ_j z_{i,j} · d_min(u_i, u_ĵ)
+//
+// Higher AdvError means more privacy.
+func (b *Bayes) AdvError() float64 {
+	k := b.mech.K()
+	tot := 0.0
+	for i := 0; i < k; i++ {
+		if b.prior[i] == 0 {
+			continue
+		}
+		for j := 0; j < k; j++ {
+			p := b.prior[i] * b.mech.Prob(i, j)
+			if p == 0 {
+				continue
+			}
+			tot += p * b.part.MidDistMin(i, b.est[j])
+		}
+	}
+	return tot
+}
+
+// optimalRemap returns argmin_k Σ_i post[i]·d_min(i, k): the Bayes
+// estimator under travel-distance loss.
+func optimalRemap(part *discretize.Partition, post []float64) int {
+	k := part.K()
+	best, bestV := 0, math.Inf(1)
+	for cand := 0; cand < k; cand++ {
+		v := 0.0
+		for i := 0; i < k; i++ {
+			if post[i] == 0 {
+				continue
+			}
+			v += post[i] * part.MidDistMin(i, cand)
+			if v >= bestV {
+				break
+			}
+		}
+		if v < bestV {
+			bestV = v
+			best = cand
+		}
+	}
+	return best
+}
+
+// HMM is the multi-report spatial-correlation-aware adversary.
+type HMM struct {
+	part  *discretize.Partition
+	mech  *core.Mechanism
+	prior []float64
+	// trans is the K×K row-stochastic transition matrix between
+	// consecutive reporting rounds.
+	trans []float64
+}
+
+// NewHMM builds the adversary. trans must be K×K row-major and
+// row-stochastic (LearnTransitions produces one); prior nil means
+// uniform.
+func NewHMM(m *core.Mechanism, prior, trans []float64) (*HMM, error) {
+	k := m.K()
+	if prior == nil {
+		prior = core.UniformPrior(k)
+	}
+	if len(prior) != k {
+		return nil, fmt.Errorf("attack: prior has %d entries, want %d", len(prior), k)
+	}
+	if len(trans) != k*k {
+		return nil, fmt.Errorf("attack: transition matrix has %d entries, want %d", len(trans), k*k)
+	}
+	return &HMM{part: m.Part, mech: m, prior: prior, trans: trans}, nil
+}
+
+// Viterbi returns the maximum-likelihood true-interval sequence for the
+// observed report sequence.
+func (h *HMM) Viterbi(reports []int) []int {
+	if len(reports) == 0 {
+		return nil
+	}
+	k := h.mech.K()
+	logZ := func(i, j int) float64 { return safeLog(h.mech.Prob(i, j)) }
+
+	delta := make([]float64, k)
+	back := make([][]int32, len(reports))
+	for i := 0; i < k; i++ {
+		delta[i] = safeLog(h.prior[i]) + logZ(i, reports[0])
+	}
+	next := make([]float64, k)
+	for t := 1; t < len(reports); t++ {
+		back[t] = make([]int32, k)
+		for i := 0; i < k; i++ {
+			bestV := math.Inf(-1)
+			bestJ := 0
+			for j := 0; j < k; j++ {
+				lt := h.trans[j*k+i]
+				if lt == 0 {
+					continue
+				}
+				if v := delta[j] + math.Log(lt); v > bestV {
+					bestV = v
+					bestJ = j
+				}
+			}
+			if math.IsInf(bestV, -1) {
+				// No predecessor has positive probability; restart the
+				// chain at i using the prior (robustness to sparse
+				// transition estimates).
+				bestV = safeLog(h.prior[i])
+				bestJ = -1
+			}
+			next[i] = bestV + logZ(i, reports[t])
+			if bestJ < 0 {
+				back[t][i] = int32(i)
+			} else {
+				back[t][i] = int32(bestJ)
+			}
+		}
+		delta, next = next, delta
+	}
+
+	// Backtrack.
+	out := make([]int, len(reports))
+	best, bestV := 0, math.Inf(-1)
+	for i := 0; i < k; i++ {
+		if delta[i] > bestV {
+			bestV = delta[i]
+			best = i
+		}
+	}
+	out[len(reports)-1] = best
+	for t := len(reports) - 1; t > 0; t-- {
+		out[t-1] = int(back[t][out[t]])
+	}
+	return out
+}
+
+// SequenceError returns the mean travel-distance error of the Viterbi
+// decoding against the true interval sequence.
+func (h *HMM) SequenceError(truth, reports []int) float64 {
+	if len(truth) != len(reports) || len(truth) == 0 {
+		return math.NaN()
+	}
+	est := h.Viterbi(reports)
+	tot := 0.0
+	for t := range truth {
+		tot += h.part.MidDistMin(truth[t], est[t])
+	}
+	return tot / float64(len(truth))
+}
+
+func safeLog(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(p)
+}
+
+// Posteriors runs the forward-backward algorithm and returns, per round,
+// the smoothed posterior Pr(true_t = i | all reports). Under travel-
+// distance loss this is strictly more information than the Viterbi MAP
+// path: the per-round Bayes-optimal estimate minimises the posterior-
+// expected distance over the smoothed marginal.
+func (h *HMM) Posteriors(reports []int) [][]float64 {
+	if len(reports) == 0 {
+		return nil
+	}
+	k := h.mech.K()
+	n := len(reports)
+
+	// Scaled forward pass: alpha[t][i] ∝ Pr(obs_1..t, state_t = i).
+	alpha := make([][]float64, n)
+	alpha[0] = make([]float64, k)
+	for i := 0; i < k; i++ {
+		alpha[0][i] = h.prior[i] * h.mech.Prob(i, reports[0])
+	}
+	normalize(alpha[0])
+	for t := 1; t < n; t++ {
+		alpha[t] = make([]float64, k)
+		for i := 0; i < k; i++ {
+			s := 0.0
+			for j := 0; j < k; j++ {
+				s += alpha[t-1][j] * h.trans[j*k+i]
+			}
+			alpha[t][i] = s * h.mech.Prob(i, reports[t])
+		}
+		normalize(alpha[t])
+	}
+
+	// Scaled backward pass: beta[t][i] ∝ Pr(obs_{t+1..n} | state_t = i).
+	beta := make([][]float64, n)
+	beta[n-1] = make([]float64, k)
+	for i := range beta[n-1] {
+		beta[n-1][i] = 1
+	}
+	for t := n - 2; t >= 0; t-- {
+		beta[t] = make([]float64, k)
+		for i := 0; i < k; i++ {
+			s := 0.0
+			for j := 0; j < k; j++ {
+				s += h.trans[i*k+j] * h.mech.Prob(j, reports[t+1]) * beta[t+1][j]
+			}
+			beta[t][i] = s
+		}
+		normalize(beta[t])
+	}
+
+	post := make([][]float64, n)
+	for t := 0; t < n; t++ {
+		post[t] = make([]float64, k)
+		for i := 0; i < k; i++ {
+			post[t][i] = alpha[t][i] * beta[t][i]
+		}
+		normalize(post[t])
+	}
+	return post
+}
+
+// MarginalEstimates returns, per round, the Bayes-optimal estimate under
+// travel-distance loss computed from the smoothed posteriors — the
+// strongest sequence attack this package implements.
+func (h *HMM) MarginalEstimates(reports []int) []int {
+	post := h.Posteriors(reports)
+	if post == nil {
+		return nil
+	}
+	out := make([]int, len(post))
+	for t, p := range post {
+		out[t] = optimalRemap(h.part, p)
+	}
+	return out
+}
+
+// MarginalSequenceError returns the mean travel-distance error of the
+// marginal (forward-backward) attack against the truth.
+func (h *HMM) MarginalSequenceError(truth, reports []int) float64 {
+	if len(truth) != len(reports) || len(truth) == 0 {
+		return math.NaN()
+	}
+	est := h.MarginalEstimates(reports)
+	tot := 0.0
+	for t := range truth {
+		tot += h.part.MidDistMin(truth[t], est[t])
+	}
+	return tot / float64(len(truth))
+}
+
+// normalize scales a non-negative vector to sum 1 in place; a zero
+// vector becomes uniform (the chain lost track — no information).
+func normalize(v []float64) {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	if s <= 0 {
+		u := 1 / float64(len(v))
+		for i := range v {
+			v[i] = u
+		}
+		return
+	}
+	for i := range v {
+		v[i] /= s
+	}
+}
+
+// LearnTransitions estimates the HMM transition matrix from observed
+// true-interval sequences (floating-vehicle data, Eq. 5), with additive
+// smoothing alpha so every transition stays decodable.
+func LearnTransitions(k int, sequences [][]int, alpha float64) []float64 {
+	if alpha <= 0 {
+		alpha = 1e-3
+	}
+	counts := make([]float64, k*k)
+	for _, seq := range sequences {
+		for t := 0; t+1 < len(seq); t++ {
+			counts[seq[t]*k+seq[t+1]]++
+		}
+	}
+	trans := make([]float64, k*k)
+	for i := 0; i < k; i++ {
+		rowSum := 0.0
+		for j := 0; j < k; j++ {
+			rowSum += counts[i*k+j]
+		}
+		den := rowSum + alpha*float64(k)
+		for j := 0; j < k; j++ {
+			trans[i*k+j] = (counts[i*k+j] + alpha) / den
+		}
+	}
+	return trans
+}

@@ -1,0 +1,262 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/discretize"
+	"repro/internal/roadnet"
+)
+
+func solvedMechanism(t *testing.T, seed int64, eps float64) (*core.Problem, *core.Mechanism) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := roadnet.Grid(rng, roadnet.GridConfig{
+		Rows: 2, Cols: 2, Spacing: 0.3, OneWayFrac: 0.5, WeightJitter: 0.2,
+	})
+	part, err := discretize.New(g, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := core.NewProblem(part, core.Config{Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.SolveDirect(pr, core.DirectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr, res.Mechanism
+}
+
+func TestNewBayesValidation(t *testing.T) {
+	_, m := solvedMechanism(t, 1, 3)
+	if _, err := NewBayes(m, []float64{1}); err == nil {
+		t.Fatal("accepted wrong-length prior")
+	}
+}
+
+func TestPosteriorIsDistribution(t *testing.T) {
+	_, m := solvedMechanism(t, 2, 3)
+	b, err := NewBayes(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < m.K(); j++ {
+		post := b.Posterior(j)
+		sum := 0.0
+		for _, p := range post {
+			if p < 0 {
+				t.Fatalf("negative posterior entry")
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("posterior(%d) sums to %v", j, sum)
+		}
+	}
+}
+
+func TestAdvErrorMatchesMonteCarlo(t *testing.T) {
+	pr, m := solvedMechanism(t, 3, 3)
+	b, err := NewBayes(m, pr.PriorP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := b.AdvError()
+
+	rng := rand.New(rand.NewSource(4))
+	k := m.K()
+	const trials = 60000
+	tot := 0.0
+	for n := 0; n < trials; n++ {
+		// Draw true interval from prior.
+		u, i := rng.Float64(), 0
+		acc := 0.0
+		for ; i < k-1; i++ {
+			acc += pr.PriorP[i]
+			if u <= acc {
+				break
+			}
+		}
+		j := m.SampleInterval(rng, i)
+		tot += pr.Part.MidDistMin(i, b.Estimate(j))
+	}
+	mc := tot / trials
+	if math.Abs(mc-exact) > 0.02*(1+exact) {
+		t.Fatalf("Monte-Carlo AdvError %v, exact %v", mc, exact)
+	}
+}
+
+func TestAdvErrorZeroForIdentityMechanism(t *testing.T) {
+	// A mechanism that always reports the truth has zero adversary error
+	// (no privacy at all).
+	pr, m := solvedMechanism(t, 5, 3)
+	k := m.K()
+	id := make([]float64, k*k)
+	for i := 0; i < k; i++ {
+		id[i*k+i] = 1
+	}
+	ident := &core.Mechanism{Part: m.Part, Z: id}
+	b, err := NewBayes(ident, pr.PriorP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := b.AdvError(); e > 1e-12 {
+		t.Fatalf("identity mechanism AdvError %v, want 0", e)
+	}
+}
+
+func TestOptimalRemapBeatsNaiveRemap(t *testing.T) {
+	// The optimal inference must do at least as well (lower expected
+	// error) as the naive adversary who takes the report at face value.
+	pr, m := solvedMechanism(t, 6, 2)
+	b, err := NewBayes(m, pr.PriorP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := m.K()
+	naive := 0.0
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			naive += pr.PriorP[i] * m.Prob(i, j) * pr.Part.MidDistMin(i, j)
+		}
+	}
+	if adv := b.AdvError(); adv > naive+1e-9 {
+		t.Fatalf("optimal attack error %v worse than naive %v", adv, naive)
+	}
+}
+
+func TestLearnTransitionsRowStochastic(t *testing.T) {
+	seqs := [][]int{{0, 1, 2, 1}, {2, 2, 0}}
+	tr := LearnTransitions(3, seqs, 0.1)
+	for i := 0; i < 3; i++ {
+		sum := 0.0
+		for j := 0; j < 3; j++ {
+			v := tr[i*3+j]
+			if v <= 0 {
+				t.Fatalf("non-positive smoothed transition (%d,%d)", i, j)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+	// Observed transitions must dominate unobserved ones.
+	if tr[0*3+1] <= tr[0*3+2] {
+		t.Fatal("observed transition 0→1 not favoured over unobserved 0→2")
+	}
+}
+
+func TestViterbiRecoversDeterministicChain(t *testing.T) {
+	// With a near-deterministic transition chain and a noisy mechanism,
+	// Viterbi must recover the true path from its own emissions.
+	pr, m := solvedMechanism(t, 7, 6)
+	k := m.K()
+
+	// Build a cyclic deterministic transition.
+	trans := make([]float64, k*k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if j == (i+1)%k {
+				trans[i*k+j] = 0.94
+			} else {
+				trans[i*k+j] = 0.06 / float64(k-1)
+			}
+		}
+	}
+	h, err := NewHMM(m, pr.PriorP, trans)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(8))
+	truth := make([]int, 30)
+	reports := make([]int, 30)
+	cur := 0
+	for t2 := range truth {
+		truth[t2] = cur
+		reports[t2] = m.SampleInterval(rng, cur)
+		cur = (cur + 1) % k
+	}
+	est := h.Viterbi(reports)
+	if len(est) != len(truth) {
+		t.Fatalf("viterbi length %d, want %d", len(est), len(truth))
+	}
+	correct := 0
+	for t2 := range truth {
+		if est[t2] == truth[t2] {
+			correct++
+		}
+	}
+	// The chain structure is strong: most states must be recovered.
+	if correct < len(truth)*2/3 {
+		t.Fatalf("viterbi recovered only %d/%d states", correct, len(truth))
+	}
+}
+
+func TestHMMBeatsBayesUnderStrongCorrelation(t *testing.T) {
+	// The paper's Fig. 15 effect: with strong spatial correlation, the
+	// HMM adversary infers better (lower error) than independent Bayes.
+	pr, m := solvedMechanism(t, 9, 4)
+	k := m.K()
+	trans := make([]float64, k*k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if j == (i+1)%k {
+				trans[i*k+j] = 0.9
+			} else {
+				trans[i*k+j] = 0.1 / float64(k-1)
+			}
+		}
+	}
+	h, err := NewHMM(m, pr.PriorP, trans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBayes(m, pr.PriorP)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(10))
+	const steps = 400
+	truth := make([]int, steps)
+	reports := make([]int, steps)
+	cur := rng.Intn(k)
+	for t2 := 0; t2 < steps; t2++ {
+		truth[t2] = cur
+		reports[t2] = m.SampleInterval(rng, cur)
+		if rng.Float64() < 0.9 {
+			cur = (cur + 1) % k
+		} else {
+			cur = rng.Intn(k)
+		}
+	}
+	hmmErr := h.SequenceError(truth, reports)
+	bayesErr := 0.0
+	for t2 := range truth {
+		bayesErr += pr.Part.MidDistMin(truth[t2], b.Estimate(reports[t2]))
+	}
+	bayesErr /= steps
+	if hmmErr > bayesErr+1e-9 {
+		t.Fatalf("HMM error %v not better than Bayes %v under strong correlation", hmmErr, bayesErr)
+	}
+}
+
+func TestViterbiEmptyAndMismatched(t *testing.T) {
+	pr, m := solvedMechanism(t, 11, 3)
+	h, err := NewHMM(m, pr.PriorP, LearnTransitions(m.K(), nil, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Viterbi(nil) != nil {
+		t.Fatal("Viterbi(nil) must be nil")
+	}
+	if !math.IsNaN(h.SequenceError([]int{1}, []int{1, 2})) {
+		t.Fatal("mismatched lengths must give NaN")
+	}
+}

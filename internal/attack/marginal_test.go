@@ -1,0 +1,145 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func chainHMM(t *testing.T, seed int64) (*HMM, *Bayes, func() ([]int, []int)) {
+	t.Helper()
+	pr, m := solvedMechanism(t, seed, 4)
+	k := m.K()
+	trans := make([]float64, k*k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if j == (i+1)%k {
+				trans[i*k+j] = 0.85
+			} else {
+				trans[i*k+j] = 0.15 / float64(k-1)
+			}
+		}
+	}
+	h, err := NewHMM(m, pr.PriorP, trans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBayes(m, pr.PriorP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed + 100))
+	// Trajectories are sampled from the HMM's own transition matrix so
+	// the attack-optimality claims hold exactly (no model mismatch).
+	sampleNext := func(i int) int {
+		u := rng.Float64()
+		acc := 0.0
+		for j := 0; j < k; j++ {
+			acc += trans[i*k+j]
+			if u <= acc {
+				return j
+			}
+		}
+		return k - 1
+	}
+	gen := func() ([]int, []int) {
+		const steps = 200
+		truth := make([]int, steps)
+		reports := make([]int, steps)
+		cur := rng.Intn(k)
+		for s := 0; s < steps; s++ {
+			truth[s] = cur
+			reports[s] = m.SampleInterval(rng, cur)
+			cur = sampleNext(cur)
+		}
+		return truth, reports
+	}
+	return h, b, gen
+}
+
+func TestPosteriorsAreDistributions(t *testing.T) {
+	h, _, gen := chainHMM(t, 1)
+	_, reports := gen()
+	post := h.Posteriors(reports[:50])
+	if len(post) != 50 {
+		t.Fatalf("got %d posteriors", len(post))
+	}
+	for tt, p := range post {
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("round %d: invalid posterior entry %v", tt, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("round %d: posterior sums to %v", tt, sum)
+		}
+	}
+}
+
+func TestPosteriorsEmptyInput(t *testing.T) {
+	h, _, _ := chainHMM(t, 2)
+	if h.Posteriors(nil) != nil {
+		t.Fatal("Posteriors(nil) must be nil")
+	}
+	if h.MarginalEstimates(nil) != nil {
+		t.Fatal("MarginalEstimates(nil) must be nil")
+	}
+	if !math.IsNaN(h.MarginalSequenceError([]int{1}, nil)) {
+		t.Fatal("mismatched lengths must give NaN")
+	}
+}
+
+func TestMarginalAttackBeatsIndependentBayes(t *testing.T) {
+	// The smoothed-marginal attack uses the correlation structure, so
+	// over a correlated trajectory it must not lose to round-by-round
+	// Bayes (both use the same loss).
+	h, b, gen := chainHMM(t, 3)
+	var mTot, bTot float64
+	var n int
+	for trial := 0; trial < 4; trial++ {
+		truth, reports := gen()
+		mTot += h.MarginalSequenceError(truth, reports) * float64(len(truth))
+		for s := range truth {
+			bTot += h.part.MidDistMin(truth[s], b.Estimate(reports[s]))
+		}
+		n += len(truth)
+	}
+	mErr, bErr := mTot/float64(n), bTot/float64(n)
+	if mErr > bErr*1.02 {
+		t.Fatalf("marginal attack error %v worse than independent Bayes %v", mErr, bErr)
+	}
+}
+
+func TestMarginalAttackAtLeastAsGoodAsViterbiOnDistance(t *testing.T) {
+	// Viterbi maximises path probability; the marginal attack minimises
+	// per-round expected distance. On the distance metric the marginal
+	// attack should be at least comparable (allow a small tolerance for
+	// sampling noise).
+	h, _, gen := chainHMM(t, 4)
+	var mTot, vTot float64
+	var n int
+	for trial := 0; trial < 4; trial++ {
+		truth, reports := gen()
+		mTot += h.MarginalSequenceError(truth, reports) * float64(len(truth))
+		vTot += h.SequenceError(truth, reports) * float64(len(truth))
+		n += len(truth)
+	}
+	mErr, vErr := mTot/float64(n), vTot/float64(n)
+	if mErr > vErr*1.1 {
+		t.Fatalf("marginal attack error %v much worse than Viterbi %v", mErr, vErr)
+	}
+}
+
+func TestPosteriorsDegenerateToUniformWhenLost(t *testing.T) {
+	// normalize() turns an all-zero vector uniform; reachable only via
+	// degenerate inputs, so test the helper directly.
+	v := []float64{0, 0, 0, 0}
+	normalize(v)
+	for _, x := range v {
+		if math.Abs(x-0.25) > 1e-12 {
+			t.Fatalf("lost-track posterior not uniform: %v", v)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package calibrate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/discretize"
+	"repro/internal/roadnet"
+)
+
+// tinyProblem mirrors the core package's small test fixture.
+func tinyProblem(t *testing.T, seed int64, eps float64) *core.Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := roadnet.Grid(rng, roadnet.GridConfig{
+		Rows: 2, Cols: 2, Spacing: 0.3, OneWayFrac: 0.5, WeightJitter: 0.2,
+	})
+	part, err := discretize.New(g, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := core.NewProblem(part, core.Config{Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+func TestEpsilonHitsTarget(t *testing.T) {
+	pr := tinyProblem(t, 41, 3)
+
+	// Establish a reachable target from a mid-range ε.
+	mid, err := core.SolveCG(pr, core.CGOptions{Xi: -0.05, RelGap: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := attack.NewBayes(mid.Mechanism, pr.PriorP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := adv.AdvError()
+	if target <= 0 {
+		t.Fatal("degenerate target")
+	}
+
+	res, err := Epsilon(pr.Part, core.Config{Epsilon: 1}, target, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solves == 0 || res.Mechanism == nil {
+		t.Fatalf("empty result %+v", res)
+	}
+	if math.Abs(res.AdvError-target) > 0.15*target {
+		t.Fatalf("calibrated AdvError %v misses target %v", res.AdvError, target)
+	}
+	if res.Epsilon < 0.5 || res.Epsilon > 32 {
+		t.Fatalf("implausible calibrated epsilon %v", res.Epsilon)
+	}
+}
+
+func TestEpsilonClampsAtBracket(t *testing.T) {
+	pr := tinyProblem(t, 42, 3)
+
+	// An absurdly large target (more error than the network diameter)
+	// cannot be met even at the most private end: expect the lo endpoint.
+	res, err := Epsilon(pr.Part, core.Config{Epsilon: 1}, 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epsilon != 0.25 {
+		t.Fatalf("expected the most-private endpoint, got eps %v", res.Epsilon)
+	}
+
+	// A near-zero target is undershot even at the least private end.
+	res, err = Epsilon(pr.Part, core.Config{Epsilon: 1}, 1e-9, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epsilon != 32 {
+		t.Fatalf("expected the least-private endpoint, got eps %v", res.Epsilon)
+	}
+}
+
+func TestEpsilonValidation(t *testing.T) {
+	pr := tinyProblem(t, 43, 3)
+	if _, err := Epsilon(pr.Part, core.Config{Epsilon: 1}, -1, Options{}); err == nil {
+		t.Fatal("accepted negative target")
+	}
+}

@@ -1,0 +1,658 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/lp"
+	"repro/internal/roadnet"
+)
+
+// CGOptions tune the Dantzig–Wolfe column-generation solver.
+type CGOptions struct {
+	// Xi is the early-termination threshold on min_l ζ_l (Section 4.3.3):
+	// the loop stops once every pricing subproblem's reduced cost is at
+	// least Xi. Xi must be ≤ 0; 0 solves to (numerical) optimality.
+	Xi float64
+	// RelGap, when positive, additionally stops the loop once
+	// (ETDD − dual bound)/ETDD falls below it.
+	RelGap float64
+	// MaxIterations bounds the master/pricing rounds (default 80).
+	MaxIterations int
+	// Workers is the pricing parallelism (default GOMAXPROCS).
+	Workers int
+	// Sequential forces one-at-a-time pricing regardless of Workers,
+	// used by the parallel-pricing ablation benchmark.
+	Sequential bool
+	// Smoothing is the Wentges dual-smoothing weight β ∈ [0, 1): pricing
+	// runs at β·(best-bound dual) + (1−β)·(master dual), which damps the
+	// dual oscillation of degenerate masters. Negative disables; 0
+	// selects the default 0.8.
+	Smoothing float64
+	// PlainSeed seeds the master with only the single ε/2 exponential
+	// mechanism (plus zero columns) instead of the multi-sharpness seed
+	// family — the seeding ablation.
+	PlainSeed bool
+	// LP passes solver options to both master and subproblems.
+	LP lp.Options
+	// OnIteration, when non-nil, observes each round (for tracing and
+	// convergence experiments).
+	OnIteration func(iter int, stats CGIteration)
+}
+
+func (o CGOptions) withDefaults() CGOptions {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 80
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Sequential {
+		o.Workers = 1
+	}
+	switch {
+	case o.Smoothing < 0:
+		o.Smoothing = 0
+	case o.Smoothing == 0:
+		o.Smoothing = 0.8
+	case o.Smoothing >= 1:
+		o.Smoothing = 0.95
+	}
+	return o
+}
+
+// CGIteration records one round of the master/pricing exchange.
+type CGIteration struct {
+	// MasterObj is the restricted master's optimal ETDD (including any
+	// stabilization-slack penalty, which is zero at convergence).
+	MasterObj float64
+	// MinZeta is min_l ζ_l under the master duals, the paper's
+	// convergence measure; ≥ 0 means the master solution is optimal for
+	// the full DW formulation.
+	MinZeta float64
+	// LowerBound is the Lagrangian dual bound produced this round
+	// (Theorem 4.4).
+	LowerBound float64
+	// ColumnsAdded counts new extreme points appended this round.
+	ColumnsAdded int
+	// Verified reports that pricing ran at the exact master duals (not a
+	// smoothed point), so MinZeta is exact.
+	Verified bool
+	// Elapsed is the wall time of the round.
+	Elapsed time.Duration
+}
+
+// CGResult is the outcome of SolveCG.
+type CGResult struct {
+	Mechanism *Mechanism
+	// ETDD is the achieved quality loss (recomputed from the recovered
+	// mechanism).
+	ETDD float64
+	// LowerBound is the best dual bound seen across iterations; the true
+	// D-VLP optimum lies in [LowerBound, ETDD].
+	LowerBound float64
+	// Iterations traces the convergence (Figs. 13(b)-(f)).
+	Iterations []CGIteration
+	// Stopped carries a diagnostic when the loop ended early on a
+	// numerical condition rather than a convergence criterion; the
+	// mechanism is still the valid incumbent of the last clean round.
+	Stopped string
+	// Elapsed is the total solve wall time.
+	Elapsed time.Duration
+}
+
+// ApproxRatio returns ETDD / LowerBound, the paper's approximation-ratio
+// metric (Fig. 13(e)); 1 means provably optimal.
+func (r *CGResult) ApproxRatio() float64 {
+	if r.LowerBound <= 0 {
+		return math.NaN()
+	}
+	return r.ETDD / r.LowerBound
+}
+
+// cgColumn is one extreme point ẑ of a polyhedron Λ_l together with its
+// objective contribution.
+type cgColumn struct {
+	l    int
+	z    []float64 // K entries over true intervals
+	cost float64   // Σ_i c_{i,l} z_i
+}
+
+const cgTol = 1e-9
+
+// SolveCG solves D-VLP by Dantzig–Wolfe decomposition (Section 4.3).
+//
+// The master program optimises convex weights over known extreme points
+// of the per-column polyhedra Λ_l under the K unit-measure rows and K
+// convexity rows; each pricing subproblem sub_l minimises the reduced
+// cost (c_l − π)·z − μ_l over Λ_l (reduced Geo-I rows + 0 ≤ z ≤ 1) and
+// proposes a new extreme point when its optimum ζ_l is negative.
+// Subproblems share no variables and are priced in parallel.
+//
+// Two standard column-generation stabilizers keep the degenerate master
+// from oscillating: bounded-penalty slacks on the unit rows (escalated
+// when binding, so exactness is preserved) and Wentges smoothing of the
+// pricing duals with a verification pass at the exact master duals
+// before any optimality claim.
+func SolveCG(pr *Problem, opts CGOptions) (*CGResult, error) {
+	opts = opts.withDefaults()
+	if opts.Xi > 0 {
+		return nil, fmt.Errorf("core: CG threshold Xi must be ≤ 0, got %v", opts.Xi)
+	}
+	start := time.Now()
+	k := pr.Part.K()
+
+	columns := seedColumns(pr, opts.PlainSeed)
+	sub := newPricer(pr, opts)
+	res := &CGResult{LowerBound: math.Inf(-1)}
+	var lambda []float64
+
+	// Dual box radius for the master stabilization slacks.
+	cmax := 0.0
+	for _, c := range pr.Costs {
+		if c > cmax {
+			cmax = c
+		}
+	}
+	rho := 10 * cmax
+	if rho <= 0 {
+		rho = 1
+	}
+	const slackTol = 1e-7
+
+	xi := opts.Xi
+	if xi > -cgTol {
+		xi = -cgTol
+	}
+
+	var piStab []float64 // dual point of the best Lagrangian bound
+
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		iterStart := time.Now()
+
+		masterObj, lam, piM, muM, slack, err := solveMaster(pr, columns, rho, opts.LP)
+		if err != nil {
+			if iter == 0 {
+				return nil, fmt.Errorf("core: CG master iteration 0: %w", err)
+			}
+			// A late master failure leaves a valid incumbent from the
+			// previous round; stop generating columns and return it
+			// (the dual bound still brackets its gap).
+			res.Stopped = fmt.Sprintf("master solve failed at iteration %d: %v", iter, err)
+			break
+		}
+		lambda = lam
+
+		// Pricing point: smoothed toward the best-bound dual.
+		piUse := piM
+		if piStab != nil && opts.Smoothing > 0 {
+			piUse = make([]float64, k)
+			for i := range piUse {
+				piUse[i] = opts.Smoothing*piStab[i] + (1-opts.Smoothing)*piM[i]
+			}
+		}
+
+		var it CGIteration
+		verified := samePoint(piUse, piM)
+		for {
+			subMins, cols, err := sub.priceAll(piUse)
+			if err != nil {
+				return nil, fmt.Errorf("core: CG pricing iteration %d: %w", iter, err)
+			}
+
+			// Lagrangian bound L(π) = Σ_k π_k + Σ_l min_{z∈Λ_l}(c_l − π)z,
+			// valid at any dual point (Theorem 4.4).
+			bound := 0.0
+			for _, p := range piUse {
+				bound += p
+			}
+			for _, m := range subMins {
+				bound += m
+			}
+			if bound > res.LowerBound {
+				res.LowerBound = bound
+				piStab = append([]float64(nil), piUse...)
+			}
+
+			// Reduced costs of the proposed columns under the exact
+			// master duals decide both termination and admission.
+			minRc := math.Inf(1)
+			for l, c := range cols {
+				rc := c.cost - muM[l]
+				for i := 0; i < k; i++ {
+					rc -= piM[i] * c.z[i]
+				}
+				if rc < minRc {
+					minRc = rc
+				}
+				cols[l] = c
+			}
+
+			it = CGIteration{
+				MasterObj:  masterObj,
+				MinZeta:    minRc,
+				LowerBound: bound,
+				Verified:   verified,
+			}
+
+			if minRc >= xi {
+				if !verified {
+					// Possible mispricing at the smoothed point: verify
+					// at the exact master duals before concluding.
+					piUse = piM
+					verified = true
+					continue
+				}
+				break
+			}
+
+			added := 0
+			for l, c := range cols {
+				rc := c.cost - muM[l]
+				for i := 0; i < k; i++ {
+					rc -= piM[i] * c.z[i]
+				}
+				if rc < -cgTol && !duplicateColumn(columns, c) {
+					columns = append(columns, c)
+					added++
+				}
+			}
+			if added == 0 && !verified {
+				piUse = piM
+				verified = true
+				continue
+			}
+			it.ColumnsAdded = added
+			break
+		}
+
+		it.Elapsed = time.Since(iterStart)
+		res.Iterations = append(res.Iterations, it)
+		if opts.OnIteration != nil {
+			opts.OnIteration(iter, it)
+		}
+
+		converged := it.MinZeta >= xi && it.ColumnsAdded == 0
+		gapMet := opts.RelGap > 0 && masterObj > 0 &&
+			(masterObj-res.LowerBound)/masterObj <= opts.RelGap && slack <= slackTol
+		if converged {
+			if slack > slackTol {
+				// Converged against a binding dual box: widen and go on.
+				rho *= 10
+				continue
+			}
+			break
+		}
+		if gapMet {
+			break
+		}
+		if it.ColumnsAdded == 0 {
+			if slack > slackTol {
+				rho *= 10
+				continue
+			}
+			// Verified negative reduced costs, yet every proposed column
+			// already exists: a numerical stall. The incumbent stands and
+			// the dual bound brackets its gap.
+			break
+		}
+	}
+
+	// Recover Z from the final master weights: z_{·,l} = Σ_t λ_{l,t} ẑ_t.
+	// Columns appended after the last master solve carry no weight, so
+	// only the first len(lambda) columns participate.
+	z := make([]float64, k*k)
+	for ci, c := range columns[:len(lambda)] {
+		w := lambda[ci]
+		if w <= 0 {
+			continue
+		}
+		for i := 0; i < k; i++ {
+			z[i*k+c.l] += w * c.z[i]
+		}
+	}
+	normalizeRows(z, k)
+	res.Mechanism = &Mechanism{Part: pr.Part, Z: z}
+	res.ETDD = pr.ETDD(res.Mechanism)
+	// The Lagrangian bound can be vacuous (negative) when the loop stops
+	// very early; quality loss is non-negative by definition.
+	if res.LowerBound < 0 {
+		res.LowerBound = 0
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func samePoint(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// seedColumns builds the initial master columns. The full seed family
+// holds, per polyhedron Λ_l, unnormalised exponential columns
+// e^{−γ·ε·d_sym(·,l)} at several sharpness levels γ ∈ (0, 1] — all
+// feasible for Λ_l because d_sym is a metric with d_sym ≤ d on adjacent
+// pairs — plus the zero vertex, plus the columns of the normalised ε/2
+// exponential mechanism, which collectively form a feasible master
+// solution (so no artificial variables are ever needed).
+func seedColumns(pr *Problem, plain bool) []cgColumn {
+	k := pr.Part.K()
+	mech := pr.ExponentialMechanism()
+	gammas := []float64{1, 0.5, 0.25}
+	if plain {
+		gammas = nil
+	}
+	columns := make([]cgColumn, 0, (2+len(gammas))*k)
+	for l := 0; l < k; l++ {
+		z := make([]float64, k)
+		for i := 0; i < k; i++ {
+			z[i] = mech.Z[i*k+l]
+		}
+		columns = append(columns,
+			cgColumn{l: l, z: z, cost: pr.columnCost(l, z)},
+			cgColumn{l: l, z: make([]float64, k), cost: 0},
+		)
+		for _, g := range gammas {
+			ze := make([]float64, k)
+			eps := pr.MinEps()
+			for i := 0; i < k; i++ {
+				ze[i] = math.Exp(-g * eps * pr.Sym.Dist(roadnet.NodeID(i), roadnet.NodeID(l)))
+			}
+			// At small ε the γ family flattens toward the all-ones
+			// vector; near-collinear columns only degrade the master's
+			// conditioning, so drop them.
+			if nearDuplicateSeed(columns, l, ze) {
+				continue
+			}
+			columns = append(columns, cgColumn{l: l, z: ze, cost: pr.columnCost(l, ze)})
+		}
+	}
+	return columns
+}
+
+// nearDuplicateSeed reports whether block l already has a seed column
+// within 1e-3 of ze in every entry.
+func nearDuplicateSeed(columns []cgColumn, l int, ze []float64) bool {
+outer:
+	for _, old := range columns {
+		if old.l != l {
+			continue
+		}
+		for i, v := range old.z {
+			if math.Abs(v-ze[i]) > 1e-3 {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// duplicateColumn reports whether an (l-matching) column with the same
+// entries up to a small tolerance already exists.
+func duplicateColumn(columns []cgColumn, c cgColumn) bool {
+outer:
+	for _, old := range columns {
+		if old.l != c.l {
+			continue
+		}
+		for i, v := range old.z {
+			if math.Abs(v-c.z[i]) > 1e-9 {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// columnCost is Σ_i c_{i,l} z_i.
+func (pr *Problem) columnCost(l int, z []float64) float64 {
+	k := pr.Part.K()
+	c := 0.0
+	for i := 0; i < k; i++ {
+		c += pr.Costs[i*k+l] * z[i]
+	}
+	return c
+}
+
+// solveMaster builds and solves the restricted master, returning its
+// objective, the column weights λ, the duals π (unit rows) and μ
+// (convexity rows), and the total mass on stabilization slacks.
+//
+// Stabilization: the master's unit rows are softened to
+// Σ ẑ_k λ + s_k⁺ − s_k⁻ = 1 with cost ρ per unit of slack, which caps the
+// dual prices at |π_k| ≤ ρ. Without this, the heavily degenerate master
+// has wildly non-unique duals and the pricing loop oscillates instead of
+// converging. When the box binds (slack > 0), the caller escalates ρ and
+// re-solves, so the final answer is exact.
+func solveMaster(pr *Problem, columns []cgColumn, rho float64, lpOpts lp.Options) (obj float64, lambda, pi, mu []float64, slackUse float64, err error) {
+	k := pr.Part.K()
+	n := len(columns)
+	prob := lp.NewProblem(n + 2*k)
+	for ci, c := range columns {
+		prob.SetObjectiveCoeff(ci, c.cost)
+	}
+	for s := 0; s < 2*k; s++ {
+		prob.SetObjectiveCoeff(n+s, rho)
+	}
+	// Unit rows: Σ_cols ẑ_i λ + s_i⁺ − s_i⁻ = 1 for each true interval i.
+	for i := 0; i < k; i++ {
+		terms := make([]lp.Term, 0, n+2)
+		for ci, c := range columns {
+			if v := c.z[i]; v != 0 {
+				terms = append(terms, lp.Term{Var: ci, Coef: v})
+			}
+		}
+		terms = append(terms, lp.Term{Var: n + 2*i, Coef: 1}, lp.Term{Var: n + 2*i + 1, Coef: -1})
+		prob.AddConstraint(terms, lp.EQ, 1)
+	}
+	// Convexity rows: Σ_{t∈l} λ_{l,t} = 1 for each polyhedron l.
+	perL := make([][]lp.Term, k)
+	for ci, c := range columns {
+		perL[c.l] = append(perL[c.l], lp.Term{Var: ci, Coef: 1})
+	}
+	for l := 0; l < k; l++ {
+		prob.AddConstraint(perL[l], lp.EQ, 1)
+	}
+
+	// The master is heavily degenerate with many near-parallel columns —
+	// hostile territory for pivoting methods — so it is solved with the
+	// interior-point method, which needs no vertex (the recovered
+	// mechanism is a convex combination anyway) and produces the
+	// well-centred duals column generation wants.
+	sol, err := lp.SolveIPM(prob, lpOpts)
+	if err != nil {
+		return 0, nil, nil, nil, 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return 0, nil, nil, nil, 0, fmt.Errorf("master LP (%d rows, %d cols) ended %v after %d IPM iterations",
+			prob.NumConstraints(), prob.NumVars(), sol.Status, sol.Iterations)
+	}
+	for s := 0; s < 2*k; s++ {
+		slackUse += sol.X[n+s]
+	}
+	return sol.Objective, sol.X[:n], sol.Duals[:k], sol.Duals[k : 2*k], slackUse, nil
+}
+
+// pricer solves the K pricing subproblems.
+//
+// The primal form of sub_l — min w·z over Λ_l = {Gz ≤ 0, 0 ≤ z ≤ 1} with
+// G the reduced Geo-I rows — has 2P+K rows that are almost all tight at
+// zero: a maximally degenerate shape on which the simplex crawls.
+// Pricing therefore solves the LP dual,
+//
+//	min b·u  s.t.  Aᵀu ≥ −w, u ≥ 0,   A = [G; I], b = (0…0, 1…1),
+//
+// which has only K rows with generic right-hand sides, and recovers the
+// primal minimiser z* as the dual prices of that problem (the dual of
+// the dual is the primal). Every recovered column is verified against
+// Λ_l and the rare numerically-doubtful one falls back to a direct
+// primal solve.
+type pricer struct {
+	pr   *Problem
+	opts CGOptions
+
+	// dualRows[i] holds the fixed coefficient terms of the dual row for
+	// primal variable z_i; only the right-hand side −w_i changes between
+	// solves.
+	dualRows [][]lp.Term
+	numDual  int // dual variable count = 2·pairs + K
+
+	// primalBase is the straightforward primal formulation, used as the
+	// verification fallback.
+	primalBase *lp.Problem
+	// pairF caches e^{ε·D} per reduced pair for feasibility checks.
+	pairF []float64
+}
+
+func newPricer(pr *Problem, opts CGOptions) *pricer {
+	k := pr.Part.K()
+	p := &pricer{pr: pr, opts: opts}
+
+	// Primal fallback.
+	base := lp.NewProblem(k)
+	p.pairF = make([]float64, len(pr.Red.Pairs))
+	for pi, pair := range pr.Red.Pairs {
+		f := math.Exp(pr.reducedPairEps(pair) * pair.D)
+		p.pairF[pi] = f
+		base.AddConstraint([]lp.Term{{Var: pair.A, Coef: 1}, {Var: pair.B, Coef: -f}}, lp.LE, 0)
+		base.AddConstraint([]lp.Term{{Var: pair.B, Coef: 1}, {Var: pair.A, Coef: -f}}, lp.LE, 0)
+	}
+	// Λ_l is a cone without an upper bound; the unit box makes its
+	// extreme points well-defined and matches z being probabilities.
+	for i := 0; i < k; i++ {
+		base.AddConstraint([]lp.Term{{Var: i, Coef: 1}}, lp.LE, 1)
+	}
+	p.primalBase = base
+
+	// Dual rows: u layout is [2 per pair][K box]. Primal column of z_i
+	// appears in pair rows (±1 / −f) and its own box row (+1).
+	p.numDual = 2*len(pr.Red.Pairs) + k
+	p.dualRows = make([][]lp.Term, k)
+	for pi, pair := range pr.Red.Pairs {
+		f := p.pairF[pi]
+		u1, u2 := 2*pi, 2*pi+1
+		// Row u1: z_A − f·z_B ≤ 0  →  contributes +1 to z_A's dual row,
+		// −f to z_B's. Row u2 is the mirrored direction.
+		p.dualRows[pair.A] = append(p.dualRows[pair.A],
+			lp.Term{Var: u1, Coef: 1}, lp.Term{Var: u2, Coef: -f})
+		p.dualRows[pair.B] = append(p.dualRows[pair.B],
+			lp.Term{Var: u1, Coef: -f}, lp.Term{Var: u2, Coef: 1})
+	}
+	for i := 0; i < k; i++ {
+		p.dualRows[i] = append(p.dualRows[i], lp.Term{Var: 2*len(pr.Red.Pairs) + i, Coef: 1})
+	}
+	return p
+}
+
+// priceAll solves every sub_l at dual point π, returning per block the
+// subproblem optimum min_{z∈Λ_l}(c_l − π)·z and the minimiser column.
+func (p *pricer) priceAll(pi []float64) ([]float64, []cgColumn, error) {
+	k := p.pr.Part.K()
+	mins := make([]float64, k)
+	cols := make([]cgColumn, k)
+	errs := make([]error, k)
+
+	var wg sync.WaitGroup
+	work := make(chan int)
+	workers := p.opts.Workers
+	if workers > k {
+		workers = k
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for l := range work {
+				mins[l], cols[l], errs[l] = p.priceOne(l, pi)
+			}
+		}()
+	}
+	for l := 0; l < k; l++ {
+		work <- l
+	}
+	close(work)
+	wg.Wait()
+
+	for l, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("sub_%d: %w", l, err)
+		}
+	}
+	return mins, cols, nil
+}
+
+func (p *pricer) priceOne(l int, pi []float64) (float64, cgColumn, error) {
+	k := p.pr.Part.K()
+
+	// Dual formulation (see the pricer doc comment).
+	prob := lp.NewProblem(p.numDual)
+	for b := 0; b < k; b++ {
+		prob.SetObjectiveCoeff(2*len(p.pr.Red.Pairs)+b, 1) // box duals cost 1
+	}
+	for i := 0; i < k; i++ {
+		w := p.pr.Costs[i*k+l] - pi[i]
+		prob.AddConstraint(p.dualRows[i], lp.GE, -w)
+	}
+	sol, err := lp.Solve(prob, p.opts.LP)
+	if err == nil && sol.Status == lp.Optimal {
+		z := make([]float64, k)
+		for i := 0; i < k; i++ {
+			z[i] = clamp01(sol.Duals[i])
+		}
+		if p.feasible(z) {
+			col := cgColumn{l: l, z: z, cost: p.pr.columnCost(l, z)}
+			return -sol.Objective, col, nil // min wᵀz = −min bᵀu
+		}
+	}
+
+	// Fallback: direct primal solve.
+	primal := p.primalBase.Clone()
+	for i := 0; i < k; i++ {
+		primal.SetObjectiveCoeff(i, p.pr.Costs[i*k+l]-pi[i])
+	}
+	psol, err := lp.Solve(primal, p.opts.LP)
+	if err != nil {
+		return 0, cgColumn{}, err
+	}
+	if psol.Status != lp.Optimal {
+		return 0, cgColumn{}, fmt.Errorf("pricing LP ended %v", psol.Status)
+	}
+	z := make([]float64, k)
+	copy(z, psol.X)
+	col := cgColumn{l: l, z: z, cost: p.pr.columnCost(l, z)}
+	return psol.Objective, col, nil
+}
+
+// feasible verifies a recovered column against Λ_l within tolerance.
+func (p *pricer) feasible(z []float64) bool {
+	const tolF = 1e-7
+	for pi, pair := range p.pr.Red.Pairs {
+		f := p.pairF[pi]
+		if z[pair.A]-f*z[pair.B] > tolF || z[pair.B]-f*z[pair.A] > tolF {
+			return false
+		}
+	}
+	return true
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// heteroProblem builds a tiny instance whose first half of intervals is
+// "suburb" (strict ε) and second half "downtown" (loose ε).
+func heteroProblem(t *testing.T, strict, loose float64) *Problem {
+	t.Helper()
+	base := tinyProblem(t, 21, (strict+loose)/2)
+	k := base.Part.K()
+	epsAt := make([]float64, k)
+	for i := range epsAt {
+		if i < k/2 {
+			epsAt[i] = strict
+		} else {
+			epsAt[i] = loose
+		}
+	}
+	pr, err := NewProblem(base.Part, Config{Epsilon: (strict + loose) / 2, EpsilonAt: epsAt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+func TestHeteroValidation(t *testing.T) {
+	base := tinyProblem(t, 22, 3)
+	if _, err := NewProblem(base.Part, Config{Epsilon: 3, EpsilonAt: []float64{1}}); err == nil {
+		t.Fatal("accepted wrong-length EpsilonAt")
+	}
+	bad := make([]float64, base.Part.K())
+	for i := range bad {
+		bad[i] = 1
+	}
+	bad[0] = -2
+	if _, err := NewProblem(base.Part, Config{Epsilon: 3, EpsilonAt: bad}); err == nil {
+		t.Fatal("accepted negative EpsilonAt entry")
+	}
+}
+
+func TestHeteroPairEps(t *testing.T) {
+	pr := heteroProblem(t, 2, 8)
+	k := pr.Part.K()
+	if got := pr.PairEps(0, k-1); got != 2 {
+		t.Fatalf("cross-region PairEps = %v, want the stricter 2", got)
+	}
+	if got := pr.PairEps(k-1, k-2); got != 8 {
+		t.Fatalf("downtown PairEps = %v, want 8", got)
+	}
+	if pr.MinEps() != 2 {
+		t.Fatalf("MinEps = %v, want 2", pr.MinEps())
+	}
+}
+
+func TestHeteroSolveSatisfiesPerPairGeoI(t *testing.T) {
+	pr := heteroProblem(t, 2, 8)
+	res, err := SolveDirect(pr, DirectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := pr.GeoIViolation(res.Mechanism); v > 1e-6 {
+		t.Fatalf("heterogeneous mechanism violates its per-pair Geo-I by %v", v)
+	}
+	// The exponential seed must be feasible too (it uses MinEps).
+	if v := pr.GeoIViolation(pr.ExponentialMechanism()); v > 1e-9 {
+		t.Fatalf("hetero seed violates Geo-I by %v", v)
+	}
+}
+
+func TestHeteroBeatsUniformStrict(t *testing.T) {
+	// Granting the downtown region a looser ε must reduce total quality
+	// loss versus enforcing the strict ε everywhere, while staying
+	// (weakly) worse than the loose ε everywhere.
+	strictPr := tinyProblem(t, 21, 2)
+	strict, err := SolveDirect(strictPr, DirectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loosePr, err := NewProblem(strictPr.Part, Config{Epsilon: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := SolveDirect(loosePr, DirectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	het := heteroProblem(t, 2, 8)
+	mixed, err := SolveDirect(het, DirectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.ETDD > strict.ETDD+1e-9 {
+		t.Fatalf("hetero ETDD %v worse than uniformly strict %v", mixed.ETDD, strict.ETDD)
+	}
+	if mixed.ETDD < loose.ETDD-1e-9 {
+		t.Fatalf("hetero ETDD %v better than uniformly loose %v", mixed.ETDD, loose.ETDD)
+	}
+}
+
+func TestHeteroCGMatchesDirect(t *testing.T) {
+	pr := heteroProblem(t, 2, 8)
+	direct, err := SolveDirect(pr, DirectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := SolveCG(pr, CGOptions{Xi: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cg.ETDD-direct.ETDD) > 1e-4*(1+direct.ETDD) {
+		t.Fatalf("hetero CG ETDD %v != direct %v", cg.ETDD, direct.ETDD)
+	}
+	if v := pr.GeoIViolation(cg.Mechanism); v > 1e-6 {
+		t.Fatalf("hetero CG mechanism violates Geo-I by %v", v)
+	}
+}

@@ -1,0 +1,133 @@
+// Package core implements the paper's primary contribution: the D-VLP
+// location-obfuscation linear program over a discretised road network and
+// its time-efficient solution by constraint reduction plus Dantzig–Wolfe
+// decomposition with column generation.
+//
+// The pipeline is:
+//
+//	part, _ := discretize.New(graph, delta)         // Step I
+//	prob, _ := core.NewProblem(part, core.Config{...})
+//	res, _ := core.SolveCG(prob, core.CGOptions{})  // Sections 4.2-4.3
+//	obf := res.Mechanism.Sample(rng, trueLocation)  // Step II/III
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/discretize"
+	"repro/internal/roadnet"
+)
+
+// Mechanism is a solved location-obfuscation strategy: the K×K
+// row-stochastic matrix Z with Z[i*K+l] = Pr(obfuscated ∈ u_l | true ∈ u_i).
+type Mechanism struct {
+	Part *discretize.Partition
+	Z    []float64
+}
+
+// K returns the number of intervals.
+func (m *Mechanism) K() int { return m.Part.K() }
+
+// Prob returns Pr(obfuscated ∈ u_l | true ∈ u_i).
+func (m *Mechanism) Prob(i, l int) float64 { return m.Z[i*m.K()+l] }
+
+// Row returns the obfuscation distribution of true interval i. The slice
+// aliases the mechanism and must not be modified.
+func (m *Mechanism) Row(i int) []float64 {
+	k := m.K()
+	return m.Z[i*k : (i+1)*k]
+}
+
+// RowStochasticError returns the largest deviation of any row sum from 1
+// or of any entry below 0; a well-formed mechanism returns ≈ 0.
+func (m *Mechanism) RowStochasticError() float64 {
+	k := m.K()
+	worst := 0.0
+	for i := 0; i < k; i++ {
+		sum := 0.0
+		for l := 0; l < k; l++ {
+			v := m.Z[i*k+l]
+			if -v > worst {
+				worst = -v
+			}
+			sum += v
+		}
+		if d := math.Abs(sum - 1); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// SampleInterval draws an obfuscated interval for true interval i.
+func (m *Mechanism) SampleInterval(rng *rand.Rand, i int) int {
+	k := m.K()
+	u := rng.Float64()
+	acc := 0.0
+	row := m.Row(i)
+	for l := 0; l < k; l++ {
+		acc += row[l]
+		if u <= acc {
+			return l
+		}
+	}
+	// Row sums can fall a hair short of 1 from float round-off; return
+	// the last interval with positive probability.
+	for l := k - 1; l >= 0; l-- {
+		if row[l] > 0 {
+			return l
+		}
+	}
+	return i
+}
+
+// Sample obfuscates a true on-network location per the paper's Steps
+// II-III: the obfuscated interval is drawn from the true interval's row
+// and the relative location within the interval is preserved.
+func (m *Mechanism) Sample(rng *rand.Rand, truth roadnet.Location) roadnet.Location {
+	i := m.Part.Locate(truth)
+	rel := m.Part.RelativeLoc(truth)
+	l := m.SampleInterval(rng, i)
+	return m.Part.WithRelativeLoc(l, rel)
+}
+
+// Validate checks shape and stochasticity and returns a descriptive
+// error when the mechanism is malformed.
+func (m *Mechanism) Validate() error {
+	k := m.K()
+	if len(m.Z) != k*k {
+		return fmt.Errorf("core: mechanism has %d entries, want %d", len(m.Z), k*k)
+	}
+	if e := m.RowStochasticError(); e > 1e-6 {
+		return fmt.Errorf("core: mechanism is not row-stochastic (error %g)", e)
+	}
+	return nil
+}
+
+// normalizeRows clamps tiny negative entries to zero and rescales each
+// row to sum exactly to 1. Solver output is within tolerance of
+// stochastic; this removes the residue so downstream sampling and
+// Bayesian inversion behave exactly.
+func normalizeRows(z []float64, k int) {
+	for i := 0; i < k; i++ {
+		row := z[i*k : (i+1)*k]
+		sum := 0.0
+		for l, v := range row {
+			if v < 0 {
+				row[l] = 0
+				continue
+			}
+			sum += v
+		}
+		if sum <= 0 {
+			// Degenerate row: fall back to reporting the true interval.
+			row[i] = 1
+			continue
+		}
+		for l := range row {
+			row[l] /= sum
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/discretize"
+	"repro/internal/roadnet"
+	"repro/internal/trace"
+)
+
+// Scale selects the experiment size. Quick keeps every figure within
+// seconds on a laptop while preserving every qualitative shape; Full
+// grows the map, fleet and sweeps toward the paper's proportions (the
+// paper itself uses a city-scale map and 120 cabs, which a pure-Go LP
+// stack regenerates in minutes rather than seconds).
+type Scale int
+
+// Scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+// Config drives all experiment runners.
+type Config struct {
+	Scale Scale
+	Seed  int64
+}
+
+// params bundles the per-scale knobs.
+type params struct {
+	rome       roadnet.RomeLikeConfig
+	sim        trace.SimConfig
+	cabs       int       // top-N cabs analysed per-vehicle
+	delta      float64   // headline interval length (km)
+	deltaSweep []float64 // Fig. 10/13 sweep, descending
+	epsSweep   []float64 // Figs. 11/12/14 sweep (1/km)
+	eps        float64   // headline privacy parameter
+	radius     float64
+	cg         core.CGOptions
+	cgTight    core.CGOptions // for bound-quality figures
+	vehicles14 int
+	tasks14    int
+	strides15  []int
+	groups     int // pilot-study groups
+}
+
+func (c Config) params() params {
+	switch c.Scale {
+	case Full:
+		return params{
+			rome: roadnet.RomeLikeConfig{
+				DowntownRows: 4, DowntownCols: 4, DowntownSpacing: 0.3,
+				RingRadiusFactor: 1.6, Radials: 5, SuburbDepth: 2,
+				SuburbSpacing: 0.5, OneWayFrac: 0.5, WeightJitter: 0.15,
+			},
+			sim: trace.SimConfig{
+				Vehicles: 290, Duration: 2 * 3600, RecordEvery: 7,
+				SpeedKmh: 30, CenterBias: 1.2, DropoutProb: 0.25,
+			},
+			cabs:       12,
+			delta:      0.3,
+			deltaSweep: []float64{0.45, 0.3, 0.2},
+			epsSweep:   []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+			eps:        5,
+			cg:         core.CGOptions{Xi: -0.1, RelGap: 0.04, MaxIterations: 25},
+			cgTight:    core.CGOptions{Xi: 0, RelGap: 0.008, MaxIterations: 60},
+			vehicles14: 30,
+			tasks14:    20,
+			strides15:  []int{10, 11, 12, 13, 14, 15},
+			groups:     20,
+		}
+	default:
+		return params{
+			rome: roadnet.RomeLikeConfig{
+				DowntownRows: 3, DowntownCols: 3, DowntownSpacing: 0.3,
+				RingRadiusFactor: 1.6, Radials: 4, SuburbDepth: 1,
+				SuburbSpacing: 0.5, OneWayFrac: 0.5, WeightJitter: 0.15,
+			},
+			sim: trace.SimConfig{
+				Vehicles: 40, Duration: 1800, RecordEvery: 7,
+				SpeedKmh: 30, CenterBias: 1.2, DropoutProb: 0.25,
+			},
+			cabs:       6,
+			delta:      0.3,
+			deltaSweep: []float64{0.45, 0.3, 0.2},
+			epsSweep:   []float64{1, 2, 4, 7, 10},
+			eps:        5,
+			cg:         core.CGOptions{Xi: -0.2, RelGap: 0.08, MaxIterations: 12},
+			cgTight:    core.CGOptions{Xi: 0, RelGap: 0.02, MaxIterations: 30},
+			vehicles14: 12,
+			tasks14:    8,
+			strides15:  []int{10, 12, 15},
+			groups:     8,
+		}
+	}
+}
+
+// env is the trace-driven simulation environment shared by the
+// simulation figures: the Rome-like map, the fleet traces, the selected
+// cabs and their priors.
+type env struct {
+	cfg  Config
+	prm  params
+	rng  *rand.Rand
+	G    *roadnet.Graph
+	Part *discretize.Partition
+	All  []*trace.VehicleTrace
+	Cabs []*trace.VehicleTrace
+	// PriorQ is the task prior: the paper assumes tasks follow the
+	// location distribution of all cabs.
+	PriorQ []float64
+	// CabPriors holds each selected cab's own prior f_P.
+	CabPriors [][]float64
+}
+
+func newEnv(cfg Config) (*env, error) {
+	return newEnvDelta(cfg, 0)
+}
+
+// newEnvDelta builds the environment with an explicit interval length
+// (0 selects the scale default).
+func newEnvDelta(cfg Config, delta float64) (*env, error) {
+	prm := cfg.params()
+	if delta <= 0 {
+		delta = prm.delta
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	g := roadnet.RomeLike(rng, prm.rome)
+	part, err := discretize.New(g, delta)
+	if err != nil {
+		return nil, err
+	}
+	traces, err := trace.Simulate(rng, g, prm.sim)
+	if err != nil {
+		return nil, err
+	}
+	cabs := trace.TopByRecords(traces, prm.cabs)
+	e := &env{
+		cfg:    cfg,
+		prm:    prm,
+		rng:    rng,
+		G:      g,
+		Part:   part,
+		All:    traces,
+		Cabs:   cabs,
+		PriorQ: trace.PriorFromTraces(part, traces, 0.5),
+	}
+	for _, cab := range cabs {
+		e.CabPriors = append(e.CabPriors,
+			trace.PriorFromTraces(part, []*trace.VehicleTrace{cab}, 0.5))
+	}
+	return e, nil
+}
+
+// cabProblem assembles the D-VLP instance of cab c at privacy level eps.
+func (e *env) cabProblem(c int, eps float64) (*core.Problem, error) {
+	return core.NewProblem(e.Part, core.Config{
+		Epsilon: eps,
+		Radius:  e.prm.radius,
+		PriorP:  e.CabPriors[c],
+		PriorQ:  e.PriorQ,
+	})
+}
+
+// fleetProblem assembles a D-VLP instance with the whole fleet's prior,
+// used where one shared mechanism serves all vehicles (Fig. 14).
+func (e *env) fleetProblem(eps float64) (*core.Problem, error) {
+	return core.NewProblem(e.Part, core.Config{
+		Epsilon: eps,
+		Radius:  e.prm.radius,
+		PriorP:  trace.PriorFromTraces(e.Part, e.All, 0.5),
+		PriorQ:  e.PriorQ,
+	})
+}
+
+func (e *env) check() error {
+	if len(e.Cabs) == 0 {
+		return fmt.Errorf("experiments: no cabs selected")
+	}
+	return nil
+}

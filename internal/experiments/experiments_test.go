@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The CG-heavy figures are exercised end-to-end by cmd/experiments and
+// the repository benchmarks; the tests here cover the cheap runners
+// end-to-end plus the scaffolding all runners share.
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "demo", Header: []string{"a", "bb"}}
+	tb.AddRow("1", "2")
+	tb.AddRowF(3.14159, 42)
+	out := tb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "3.142") {
+		t.Fatalf("bad rendering:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRegistryNamesAndUnknown(t *testing.T) {
+	names := Names()
+	if len(names) != len(Registry) {
+		t.Fatalf("Names() returned %d of %d", len(names), len(Registry))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Fatal("names not sorted")
+		}
+	}
+	if _, err := Run("nope", Config{}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestEnvDeterministic(t *testing.T) {
+	cfg := Config{Scale: Quick, Seed: 5}
+	a, err := newEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newEnv(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Part.K() != b.Part.K() || len(a.All) != len(b.All) {
+		t.Fatal("environment not deterministic")
+	}
+	for i, tr := range a.All {
+		if len(tr.Records) != len(b.All[i].Records) {
+			t.Fatalf("vehicle %d trace differs between runs", i)
+		}
+	}
+	for i := range a.PriorQ {
+		if a.PriorQ[i] != b.PriorQ[i] {
+			t.Fatal("prior not deterministic")
+		}
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	res, err := Fig9(Config{Scale: Quick, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vehicles == 0 || len(res.HeatMass) == 0 {
+		t.Fatal("empty result")
+	}
+	// Heat masses sorted descending.
+	for i := 1; i < len(res.HeatMass); i++ {
+		if res.HeatMass[i] > res.HeatMass[i-1]+1e-12 {
+			t.Fatal("heat masses not sorted")
+		}
+	}
+	// The centre-biased walk concentrates mass downtown.
+	if res.DowntownShare < 0.4 {
+		t.Fatalf("downtown share %.3f suspiciously low", res.DowntownShare)
+	}
+	if len(res.Tables()) == 0 {
+		t.Fatal("no tables")
+	}
+}
+
+func TestFig13aShapes(t *testing.T) {
+	res, err := Fig13a(Config{Scale: Quick, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Deltas {
+		if res.Reduced[i] >= res.Full[i] {
+			t.Fatalf("delta %v: reduction did not cut rows", res.Deltas[i])
+		}
+		if res.Reduction[i] < 0.5 {
+			t.Fatalf("delta %v: reduction only %.2f", res.Deltas[i], res.Reduction[i])
+		}
+		if res.M[i] < res.K[i] {
+			t.Fatalf("delta %v: M < K", res.Deltas[i])
+		}
+	}
+	// Finer δ must reduce a larger fraction (constraints grow cubically,
+	// reduced rows quadratically).
+	last := len(res.Deltas) - 1
+	if res.Reduction[last] <= res.Reduction[0] {
+		t.Fatalf("reduction fraction did not grow with K: %v", res.Reduction)
+	}
+	// K grows as δ shrinks (sweep is descending).
+	if res.K[last] <= res.K[0] {
+		t.Fatalf("K did not grow: %v", res.K)
+	}
+}
+
+func TestPilotMapsConnected(t *testing.T) {
+	for _, scale := range []Scale{Quick, Full} {
+		campus, ra, rb := pilotMaps(Config{Scale: scale, Seed: 3})
+		for name, g := range map[string]interface {
+			StronglyConnected() bool
+			NumNodes() int
+		}{"campus": campus, "regionA": ra, "regionB": rb} {
+			if !g.StronglyConnected() {
+				t.Fatalf("scale %v: %s not strongly connected", scale, name)
+			}
+		}
+	}
+}
+
+func TestParamsScalesDiffer(t *testing.T) {
+	q := Config{Scale: Quick}.params()
+	f := Config{Scale: Full}.params()
+	if f.sim.Vehicles <= q.sim.Vehicles {
+		t.Fatal("Full fleet not larger than Quick")
+	}
+	if f.cabs <= q.cabs {
+		t.Fatal("Full cab selection not larger")
+	}
+	if len(f.epsSweep) < len(q.epsSweep) {
+		t.Fatal("Full eps sweep not denser")
+	}
+}

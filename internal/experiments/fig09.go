@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/roadnet"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Fig9Result reproduces Fig. 9: the dataset heat map (as top-mass
+// intervals of the fleet's location distribution) and the per-vehicle
+// histograms of record count, traveling time and path distance.
+type Fig9Result struct {
+	Vehicles int
+	Stats    trace.DatasetStats
+	// HeatMass is the fleet's location-prior mass per interval,
+	// descending; HeatIdx gives the interval indices in the same order.
+	HeatMass []float64
+	HeatIdx  []int
+	// DowntownShare is the prior mass within the central third of the
+	// map — the paper's "cabs are more likely located downtown".
+	DowntownShare float64
+}
+
+// Fig9 simulates the fleet and summarises it.
+func Fig9(cfg Config) (*Fig9Result, error) {
+	e, err := newEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.check(); err != nil {
+		return nil, err
+	}
+	prior := e.PriorQ
+	idx := make([]int, len(prior))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return prior[idx[a]] > prior[idx[b]] })
+
+	res := &Fig9Result{
+		Vehicles: len(e.All),
+		Stats:    trace.Stats(e.All),
+		HeatIdx:  idx,
+	}
+	res.HeatMass = make([]float64, len(idx))
+	for i, ix := range idx {
+		res.HeatMass[i] = prior[ix]
+	}
+	res.DowntownShare = downtownShare(e, prior)
+	return res, nil
+}
+
+// downtownShare sums prior mass of intervals whose midpoint lies within
+// half the map's max radius of the origin (RomeLike is origin-centred).
+func downtownShare(e *env, prior []float64) float64 {
+	maxR := 0.0
+	for i := 0; i < e.G.NumNodes(); i++ {
+		if d := e.G.Node(roadnet.NodeID(i)).Pos.Norm(); d > maxR {
+			maxR = d
+		}
+	}
+	share := 0.0
+	for i, iv := range e.Part.Intervals {
+		p := iv.Mid().Point(e.G)
+		if p.Norm() < maxR/2 {
+			share += prior[i]
+		}
+	}
+	return share
+}
+
+// Tables renders the figure.
+func (r *Fig9Result) Tables() []*Table {
+	hist := &Table{
+		Title:  "Fig 9(b): per-vehicle histograms (box summaries)",
+		Header: []string{"metric", "min", "q1", "median", "q3", "max", "mean"},
+	}
+	for _, row := range []struct {
+		name string
+		xs   []float64
+	}{
+		{"records", r.Stats.RecordCounts},
+		{"travel time (s)", r.Stats.TravelTimes},
+		{"path distance (km)", r.Stats.PathDistances},
+	} {
+		b := stats.Summarize(row.xs)
+		hist.AddRowF(row.name, b.Min, b.Q1, b.Median, b.Q3, b.Max, b.Mean)
+	}
+
+	heat := &Table{
+		Title:  "Fig 9(a): heat map — top-10 interval mass (downtown share shown last)",
+		Header: []string{"rank", "interval", "mass"},
+	}
+	for i := 0; i < 10 && i < len(r.HeatIdx); i++ {
+		heat.AddRowF(i+1, r.HeatIdx[i], r.HeatMass[i])
+	}
+	heat.AddRow("—", "downtown share", fmt.Sprintf("%.3f", r.DowntownShare))
+	return []*Table{heat, hist}
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/roadnet"
+	"repro/internal/stats"
+)
+
+// Fig10Result reproduces Fig. 10: per-cab quality loss across interval
+// lengths δ, against a lower-bound reference, with the approximation
+// ratio at the finest δ.
+//
+// Deviations from the paper, found and documented during reproduction:
+//
+//   - The paper's lower bound (Prop. 3.3 of the ICDCS'19 version) is
+//     unavailable; the reference is the larger of the Theorem 4.4 dual
+//     bound and the corrected Proposition 4.5 bound at the finest δ.
+//   - Quality loss is Monte-Carlo-measured on continuous locations from
+//     the cab's own trace (not the discretised objective), so values at
+//     different δ are comparable.
+//   - The paper reads as if quality loss decreases monotonically toward
+//     the bound as δ shrinks. In this implementation the *reverse* holds
+//     structurally: a coarse interval lets the mechanism report the true
+//     interval "for free" (Step II preserves the relative location, so a
+//     self-report is exact), which lowers measured quality loss while
+//     also lowering real privacy — visible in the AdvError column. A
+//     coarse solution is not feasible for the finer D-VLP (its
+//     deterministic relative-location coupling violates the finer Geo-I
+//     rows), so no monotonicity is implied in either direction; δ is a
+//     genuine quality/privacy/compute trade-off knob.
+type Fig10Result struct {
+	Deltas []float64 // descending; last entry is the finest
+	// ETDD[d][c] is cab c's continuous quality loss at Deltas[d].
+	ETDD [][]float64
+	// Adv[d][c] is the interval-level Bayesian adversary error.
+	Adv [][]float64
+	// Bound[c] is cab c's lower-bound reference (finest δ).
+	Bound []float64
+	// FinestRatio summarises ETDD[finest][c]/Bound[c] across cabs.
+	FinestRatio stats.BoxPlot
+}
+
+// Fig10 runs the sweep.
+func Fig10(cfg Config) (*Fig10Result, error) {
+	prm := cfg.params()
+	res := &Fig10Result{Deltas: prm.deltaSweep}
+
+	// The δ × cab product dominates this figure's cost; a modest cab
+	// sample keeps the summary statistics meaningful.
+	maxCabs := prm.cabs
+	if cfg.Scale == Quick && maxCabs > 4 {
+		maxCabs = 4
+	}
+
+	nCabs := 0
+	etdd := make([][]float64, len(prm.deltaSweep))
+	advs := make([][]float64, len(prm.deltaSweep))
+	var bounds, modelETDD []float64
+	for di, delta := range prm.deltaSweep {
+		e, err := newEnvDelta(cfg, delta)
+		if err != nil {
+			return nil, err
+		}
+		nCabs = len(e.Cabs)
+		if nCabs > maxCabs {
+			nCabs = maxCabs
+		}
+		etdd[di] = make([]float64, nCabs)
+		advs[di] = make([]float64, nCabs)
+		finest := di == len(prm.deltaSweep)-1
+		if finest {
+			bounds = make([]float64, nCabs)
+			modelETDD = make([]float64, nCabs)
+		}
+		for c := 0; c < nCabs; c++ {
+			pr, err := e.cabProblem(c, prm.eps)
+			if err != nil {
+				return nil, err
+			}
+			opts := prm.cg
+			if finest {
+				// The dual bound is the whole point of the finest solve;
+				// the per-cab instances need a deeper budget than the
+				// scale default to close the gap.
+				opts = prm.cgTight
+				opts.MaxIterations = 2 * prm.cgTight.MaxIterations
+			}
+			sol, err := core.SolveCG(pr, opts)
+			if err != nil {
+				return nil, fmt.Errorf("delta %v cab %d: %w", delta, c, err)
+			}
+			mcRng := rand.New(rand.NewSource(cfg.Seed + int64(1000*di+c)))
+			etdd[di][c] = continuousETDD(mcRng, e, c, sol.Mechanism)
+			adv, err := attack.NewBayes(sol.Mechanism, pr.PriorP)
+			if err != nil {
+				return nil, err
+			}
+			advs[di][c] = adv.AdvError()
+			if finest {
+				b := sol.LowerBound
+				if p45 := pr.TradeoffLowerBound(prm.eps); p45 > b {
+					b = p45
+				}
+				bounds[c] = b
+				modelETDD[c] = sol.ETDD
+			}
+		}
+	}
+	res.ETDD = etdd
+	res.Adv = advs
+	res.Bound = bounds
+
+	// The ratio compares like with like: the discretised objective the
+	// solver optimised against its own dual bound (the Monte-Carlo
+	// continuous measure above is a different quantity — midpoint costs
+	// and smoothed priors shift it by a few percent either way).
+	ratios := make([]float64, nCabs)
+	for c := 0; c < nCabs; c++ {
+		ratios[c] = modelETDD[c] / bounds[c]
+	}
+	res.FinestRatio = stats.Summarize(ratios)
+	return res, nil
+}
+
+// continuousETDD Monte-Carlo-evaluates the mechanism's quality loss on
+// continuous locations: true positions drawn from the cab's own trace
+// records, obfuscations sampled from the mechanism (with the Step-II
+// relative-location rule), tasks drawn from the fleet prior's records.
+func continuousETDD(rng *rand.Rand, e *env, cab int, m *core.Mechanism) float64 {
+	records := e.Cabs[cab].Records
+	if len(records) == 0 {
+		return math.NaN()
+	}
+	const samples = 1500
+	const tasksPer = 4
+	tot := 0.0
+	n := 0
+	for s := 0; s < samples; s++ {
+		truth := records[rng.Intn(len(records))].Loc
+		obf := m.Sample(rng, truth)
+		for t := 0; t < tasksPer; t++ {
+			q := e.randomTask(rng)
+			d := math.Abs(e.Part.TravelDistLoc(truth, q) - e.Part.TravelDistLoc(obf, q))
+			tot += d
+			n++
+		}
+	}
+	return tot / float64(n)
+}
+
+// randomTask draws a task location from the fleet's record density (the
+// paper's task prior).
+func (e *env) randomTask(rng *rand.Rand) roadnet.Location {
+	for tries := 0; tries < 32; tries++ {
+		tr := e.All[rng.Intn(len(e.All))]
+		if len(tr.Records) > 0 {
+			return tr.Records[rng.Intn(len(tr.Records))].Loc
+		}
+	}
+	return roadnet.RandomLocation(rng, e.G)
+}
+
+// Tables renders the figure.
+func (r *Fig10Result) Tables() []*Table {
+	sweep := &Table{
+		Title: "Fig 10(a): continuous quality loss and privacy by interval length δ " +
+			"(coarse δ trades privacy for quality — see runner docs)",
+		Header: []string{"delta (km)", "mean ETDD (km)", "mean AdvError (km)"},
+	}
+	for di, d := range r.Deltas {
+		sweep.AddRowF(d, stats.Mean(r.ETDD[di]), stats.Mean(r.Adv[di]))
+	}
+	sweep.AddRow("bound", fmt.Sprintf("%.4g", stats.Mean(r.Bound)), "—")
+
+	box := &Table{
+		Title:  "Fig 10(b): approximation ratio at the finest δ (model ETDD / dual bound)",
+		Header: []string{"min", "q1", "median", "q3", "max", "mean"},
+	}
+	b := r.FinestRatio
+	box.AddRowF(b.Min, b.Q1, b.Median, b.Q3, b.Max, b.Mean)
+	return []*Table{sweep, box}
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+)
+
+// Fig12Result reproduces Fig. 12: quality loss and AdvError of our
+// mechanism across ε (panels a, b) and the obfuscation probability
+// distribution of the busiest interval at a high and a low ε (the heat
+// maps of panels c, d) — higher ε concentrates the distribution near the
+// true location.
+type Fig12Result struct {
+	Eps      []float64
+	ETDD     []float64
+	AdvError []float64
+
+	// HeatEpsHigh/Low are the ε values of the two heat-map panels.
+	HeatEpsHigh, HeatEpsLow float64
+	// SourceInterval is the interval whose obfuscation row is shown.
+	SourceInterval int
+	// RowHigh/RowLow are that interval's obfuscation distributions.
+	RowHigh, RowLow []float64
+	// SpreadHigh/Low are the expected travel distances between the true
+	// and obfuscated interval under each row — the heat maps' visual
+	// spread as one number.
+	SpreadHigh, SpreadLow float64
+}
+
+// Fig12 runs the ε sweep with the fleet prior.
+func Fig12(cfg Config) (*Fig12Result, error) {
+	e, err := newEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	prm := e.prm
+	res := &Fig12Result{Eps: prm.epsSweep}
+
+	var mechs []*core.Mechanism
+	for _, eps := range prm.epsSweep {
+		pr, err := e.fleetProblem(eps)
+		if err != nil {
+			return nil, err
+		}
+		sol, err := core.SolveCG(pr, prm.cg)
+		if err != nil {
+			return nil, fmt.Errorf("eps %v: %w", eps, err)
+		}
+		adv, err := attack.NewBayes(sol.Mechanism, pr.PriorP)
+		if err != nil {
+			return nil, err
+		}
+		res.ETDD = append(res.ETDD, sol.ETDD)
+		res.AdvError = append(res.AdvError, adv.AdvError())
+		mechs = append(mechs, sol.Mechanism)
+	}
+
+	// Heat-map panels: lowest and highest ε of the sweep, row of the
+	// busiest (highest fleet-prior) interval.
+	prior := e.PriorQ
+	src := 0
+	for i, p := range prior {
+		if p > prior[src] {
+			src = i
+		}
+	}
+	res.SourceInterval = src
+	res.HeatEpsLow = prm.epsSweep[0]
+	res.HeatEpsHigh = prm.epsSweep[len(prm.epsSweep)-1]
+	res.RowLow = append([]float64(nil), mechs[0].Row(src)...)
+	res.RowHigh = append([]float64(nil), mechs[len(mechs)-1].Row(src)...)
+	res.SpreadLow = rowSpread(e, src, res.RowLow)
+	res.SpreadHigh = rowSpread(e, src, res.RowHigh)
+	return res, nil
+}
+
+// rowSpread is Σ_l row[l]·d_min(src, l).
+func rowSpread(e *env, src int, row []float64) float64 {
+	s := 0.0
+	for l, p := range row {
+		s += p * e.Part.MidDistMin(src, l)
+	}
+	return s
+}
+
+// Tables renders the figure.
+func (r *Fig12Result) Tables() []*Table {
+	sweep := &Table{
+		Title:  "Fig 12(a)(b): quality loss and AdvError vs eps",
+		Header: []string{"eps (1/km)", "ETDD (km)", "AdvError (km)"},
+	}
+	for i, eps := range r.Eps {
+		sweep.AddRowF(eps, r.ETDD[i], r.AdvError[i])
+	}
+
+	heat := &Table{
+		Title: fmt.Sprintf("Fig 12(c)(d): obfuscation row of interval %d — top-5 targets and spread",
+			r.SourceInterval),
+		Header: []string{"eps", "top targets (interval:prob)", "expected spread (km)"},
+	}
+	heat.AddRow(fmt.Sprintf("%.3g", r.HeatEpsHigh), topTargets(r.RowHigh, 5), fmt.Sprintf("%.4g", r.SpreadHigh))
+	heat.AddRow(fmt.Sprintf("%.3g", r.HeatEpsLow), topTargets(r.RowLow, 5), fmt.Sprintf("%.4g", r.SpreadLow))
+	return []*Table{sweep, heat}
+}
+
+func topTargets(row []float64, n int) string {
+	idx := make([]int, len(row))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return row[idx[a]] > row[idx[b]] })
+	if n > len(idx) {
+		n = len(idx)
+	}
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%d:%.3f", idx[i], row[idx[i]])
+	}
+	return out
+}

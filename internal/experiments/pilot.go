@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/discretize"
+	"repro/internal/planar"
+	"repro/internal/realworld"
+	"repro/internal/roadnet"
+	"repro/internal/trace"
+)
+
+// pilotMaps builds the pilot-study maps at the configured scale.
+func pilotMaps(cfg Config) (campus, regionA, regionB *roadnet.Graph) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 1700))
+	if cfg.Scale == Full {
+		return roadnet.Campus(rng), roadnet.RegionA(rng), roadnet.RegionB(rng)
+	}
+	campus = roadnet.Grid(rng, roadnet.GridConfig{
+		Rows: 3, Cols: 3, Spacing: 0.3, OneWayFrac: 0.4, WeightJitter: 0.15,
+	})
+	// The two regions cover the same spatial extent (≈0.9 × 0.45 km) so
+	// that topology — block density and one-way streets — is the only
+	// variable, as in the paper's Glassboro comparison.
+	regionA = roadnet.Grid(rng, roadnet.GridConfig{
+		Rows: 2, Cols: 3, Spacing: 0.45, OneWayFrac: 0, WeightJitter: 0.25,
+	})
+	regionB = roadnet.Grid(rng, roadnet.GridConfig{
+		Rows: 4, Cols: 7, Spacing: 0.15, OneWayFrac: 0.8, WeightJitter: 0.1,
+	})
+	return campus, regionA, regionB
+}
+
+func pilotConfig(cfg Config) realworld.Config {
+	prm := cfg.params()
+	rc := realworld.DefaultConfig()
+	rc.Groups = prm.groups
+	rc.Epsilon = prm.eps
+	rc.CG = prm.cg
+	if cfg.Scale == Quick {
+		// δ stays below the downtown block length so every block
+		// carries its own intervals.
+		rc.Delta = 0.12
+		rc.DriveTime = 600
+	}
+	return rc
+}
+
+// Fig17Result reproduces Fig. 17: per-group empirical ETDD on the campus
+// map against the Theorem 4.4 lower bound (paper: approximation ratio up
+// to 1.14 across 20 groups).
+type Fig17Result struct {
+	Pilot *realworld.Result
+}
+
+// Fig17 runs the campus pilot. The campus map is small, so the tight
+// solver profile is affordable and gives the figure a meaningful dual
+// bound.
+func Fig17(cfg Config) (*Fig17Result, error) {
+	campus, _, _ := pilotMaps(cfg)
+	rng := rand.New(rand.NewSource(cfg.Seed + 17))
+	rc := pilotConfig(cfg)
+	rc.CG = cfg.params().cgTight
+	res, err := realworld.Run(rng, campus, rc)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig17Result{Pilot: res}, nil
+}
+
+// Tables renders the figure.
+func (r *Fig17Result) Tables() []*Table {
+	t := &Table{
+		Title:  "Fig 17: campus pilot — empirical ETDD per group vs lower bound",
+		Header: []string{"group", "ETDD (km)", "reports", "lower bound (km)", "model ETDD (km)"},
+	}
+	for i, g := range r.Pilot.Groups {
+		t.AddRowF(i+1, g.ETDD, g.Reports, r.Pilot.LowerBound, r.Pilot.ModelETDD)
+	}
+	return []*Table{t}
+}
+
+// Fig19Result reproduces Fig. 19: the rural Region A versus the downtown
+// Region B under our mechanism — the paper reports downtown ETDD and
+// AdvError several times the rural values.
+type Fig19Result struct {
+	A, B *realworld.Result
+}
+
+// Fig19 runs both regional pilots.
+func Fig19(cfg Config) (*Fig19Result, error) {
+	_, ra, rb := pilotMaps(cfg)
+	rc := pilotConfig(cfg)
+	rngA := rand.New(rand.NewSource(cfg.Seed + 19))
+	a, err := realworld.Run(rngA, ra, rc)
+	if err != nil {
+		return nil, fmt.Errorf("region A: %w", err)
+	}
+	rngB := rand.New(rand.NewSource(cfg.Seed + 20))
+	rcB := rc
+	rcB.Delta = rc.Delta / 2 // downtown blocks are shorter
+	b, err := realworld.Run(rngB, rb, rcB)
+	if err != nil {
+		return nil, fmt.Errorf("region B: %w", err)
+	}
+	return &Fig19Result{A: a, B: b}, nil
+}
+
+// Tables renders the figure.
+func (r *Fig19Result) Tables() []*Table {
+	t := &Table{
+		Title:  "Fig 19: Region A (rural) vs Region B (downtown), our mechanism",
+		Header: []string{"region", "mean ETDD (km)", "mean AdvError (km)"},
+	}
+	t.AddRowF("A (rural)", r.A.MeanETDD(), r.A.MeanAdvError())
+	t.AddRowF("B (downtown)", r.B.MeanETDD(), r.B.MeanAdvError())
+	return []*Table{t}
+}
+
+// Fig20Result reproduces Fig. 20: ETDD and AdvError as the number of
+// deployed tasks grows — ETDD falls (nearer tasks), AdvError is flat
+// (the attack ignores tasks).
+type Fig20Result struct {
+	Tasks []int
+	// Indexed by region (0 = A, 1 = B) then task count.
+	ETDD   [2][]float64 // distortion |d(p,q*) − d(p̃,q*)|
+	Travel [2][]float64 // realized d(p, q*) to the assigned task
+	Adv    [2][]float64
+}
+
+// Fig20 reuses one mechanism per region and varies the deployment with
+// proper common random numbers: each group has one drive, one fixed
+// report sequence and one task pool; task count n uses the pool's first
+// n entries. Only the deployment size varies, so the paper's trend —
+// ETDD falls with more tasks, AdvError stays flat — is not swamped by
+// sampling noise.
+func Fig20(cfg Config) (*Fig20Result, error) {
+	_, ra, rb := pilotMaps(cfg)
+	rc := pilotConfig(cfg)
+	taskCounts := []int{5, 6, 7, 8, 9, 10}
+	if cfg.Scale == Quick {
+		taskCounts = []int{5, 7, 10}
+	}
+	maxTasks := taskCounts[len(taskCounts)-1]
+	res := &Fig20Result{Tasks: taskCounts}
+
+	for ri, g := range []*roadnet.Graph{ra, rb} {
+		rng := rand.New(rand.NewSource(cfg.Seed + 2000 + int64(ri)))
+		pilot, err := realworld.Run(rng, g, rc)
+		if err != nil {
+			return nil, err
+		}
+		part := pilot.Mechanism.Part
+		pr, err := core.NewProblem(part, core.Config{Epsilon: rc.Epsilon, Radius: rc.Radius})
+		if err != nil {
+			return nil, err
+		}
+		adv, err := attack.NewBayes(pilot.Mechanism, pr.PriorP)
+		if err != nil {
+			return nil, err
+		}
+
+		sumETDD := make([]float64, len(taskCounts))
+		sumTravel := make([]float64, len(taskCounts))
+		sumAdv := make([]float64, len(taskCounts))
+		reports := 0
+		mrng := rand.New(rand.NewSource(cfg.Seed + 2500 + int64(ri)))
+		for grp := 0; grp < rc.Groups; grp++ {
+			pool := make([]roadnet.Location, maxTasks)
+			for i := range pool {
+				pool[i] = roadnet.RandomLocation(mrng, g)
+			}
+			traces, err := trace.Simulate(mrng, g, trace.SimConfig{
+				Vehicles: 1, Duration: rc.DriveTime, RecordEvery: rc.ReportEvery,
+				SpeedKmh: 30, CenterBias: 0.5,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, rec := range traces[0].Records {
+				truth := rec.Loc
+				obf := pilot.Mechanism.Sample(mrng, truth)
+				reports++
+				for ni, n := range taskCounts {
+					q := nearestTask(part, obf, pool[:n])
+					dTrue := part.TravelDistLoc(truth, q)
+					d := dTrue - part.TravelDistLoc(obf, q)
+					if d < 0 {
+						d = -d
+					}
+					sumETDD[ni] += d
+					sumTravel[ni] += dTrue
+				}
+				ti, oi := part.Locate(truth), part.Locate(obf)
+				e := part.MidDistMin(ti, adv.Estimate(oi))
+				for ni := range taskCounts {
+					sumAdv[ni] += e
+				}
+			}
+		}
+		for ni := range taskCounts {
+			res.ETDD[ri] = append(res.ETDD[ri], sumETDD[ni]/float64(reports))
+			res.Travel[ri] = append(res.Travel[ri], sumTravel[ni]/float64(reports))
+			res.Adv[ri] = append(res.Adv[ri], sumAdv[ni]/float64(reports))
+		}
+	}
+	return res, nil
+}
+
+// nearestTask returns the pool task closest to the reported location —
+// the server's assignment rule.
+func nearestTask(part *discretize.Partition, reported roadnet.Location, pool []roadnet.Location) roadnet.Location {
+	best, bestD := pool[0], part.TravelDistMinLoc(reported, pool[0])
+	for _, q := range pool[1:] {
+		if d := part.TravelDistMinLoc(reported, q); d < bestD {
+			best, bestD = q, d
+		}
+	}
+	return best
+}
+
+// Tables renders the figure. The paper reports ETDD falling with more
+// tasks and explains it by the shrinking distance to the nearest task —
+// which is the realized assigned-task travel (falling here too). The
+// distortion |Δd| itself *rises* with task density under the
+// nearest-to-report assignment rule: a nearby assigned task turns the
+// whole obfuscation displacement into estimation error, while a far
+// task attenuates it. Both columns are shown.
+func (r *Fig20Result) Tables() []*Table {
+	t := &Table{
+		Title: "Fig 20: quality and privacy vs number of tasks",
+		Header: []string{"region", "tasks", "assigned travel (km)",
+			"distortion |Δd| (km)", "AdvError (km)"},
+	}
+	names := []string{"A", "B"}
+	for ri := 0; ri < 2; ri++ {
+		for ti, n := range r.Tasks {
+			t.AddRowF(names[ri], n, r.Travel[ri][ti], r.ETDD[ri][ti], r.Adv[ri][ti])
+		}
+	}
+	return []*Table{t}
+}
+
+// Fig21Result reproduces Fig. 21: ours versus the 2D-plane baseline in
+// both pilot regions (paper: ours −7.4 %/−10.7 % ETDD and
+// +5.2 %/+8.6 % AdvError in regions A/B).
+type Fig21Result struct {
+	Regions    []string
+	OursETDD   []float64
+	PlanarETDD []float64
+	OursAdv    []float64
+	PlanarAdv  []float64
+}
+
+// Fig21 runs the per-region comparison with a shared test protocol.
+func Fig21(cfg Config) (*Fig21Result, error) {
+	_, ra, rb := pilotMaps(cfg)
+	rc := pilotConfig(cfg)
+	res := &Fig21Result{Regions: []string{"A", "B"}}
+	for ri, g := range []*roadnet.Graph{ra, rb} {
+		rcR := rc
+		rng := rand.New(rand.NewSource(cfg.Seed + 2100 + int64(ri)))
+		pilot, err := realworld.Run(rng, g, rcR)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := core.NewProblem(pilot.Mechanism.Part, core.Config{Epsilon: rcR.Epsilon, Radius: rcR.Radius})
+		if err != nil {
+			return nil, err
+		}
+		twoDb, err := planar.Solve2D(pilot.Mechanism.Part, rcR.Epsilon, rcR.Radius, nil, planar.Options{CG: rcR.CG})
+		if err != nil {
+			return nil, err
+		}
+
+		measure := func(m *core.Mechanism) (float64, float64, error) {
+			var etdd, adv float64
+			for grp := 0; grp < rcR.Groups; grp++ {
+				gr, err := realworld.RunGroup(rng, pr, m, rcR)
+				if err != nil {
+					return 0, 0, err
+				}
+				etdd += gr.ETDD
+				adv += gr.AdvError
+			}
+			n := float64(rcR.Groups)
+			return etdd / n, adv / n, nil
+		}
+		oe, oa, err := measure(pilot.Mechanism)
+		if err != nil {
+			return nil, err
+		}
+		pe, pa, err := measure(twoDb.Mechanism)
+		if err != nil {
+			return nil, err
+		}
+		res.OursETDD = append(res.OursETDD, oe)
+		res.OursAdv = append(res.OursAdv, oa)
+		res.PlanarETDD = append(res.PlanarETDD, pe)
+		res.PlanarAdv = append(res.PlanarAdv, pa)
+	}
+	return res, nil
+}
+
+// Tables renders the figure.
+func (r *Fig21Result) Tables() []*Table {
+	t := &Table{
+		Title:  "Fig 21: ours vs 2Db in the pilot regions",
+		Header: []string{"region", "ETDD ours", "ETDD 2Db", "AdvError ours", "AdvError 2Db"},
+	}
+	for i, name := range r.Regions {
+		t.AddRowF(name, r.OursETDD[i], r.PlanarETDD[i], r.OursAdv[i], r.PlanarAdv[i])
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tabler is any figure result that renders to text tables.
+type Tabler interface {
+	Tables() []*Table
+}
+
+// Runner regenerates one paper figure.
+type Runner func(Config) (Tabler, error)
+
+// Registry maps figure identifiers to their runners.
+var Registry = map[string]Runner{
+	"fig9":     func(c Config) (Tabler, error) { return Fig9(c) },
+	"fig10":    func(c Config) (Tabler, error) { return Fig10(c) },
+	"fig11":    func(c Config) (Tabler, error) { return Fig11(c) },
+	"fig12":    func(c Config) (Tabler, error) { return Fig12(c) },
+	"fig13a":   func(c Config) (Tabler, error) { return Fig13a(c) },
+	"fig13":    func(c Config) (Tabler, error) { return Fig13(c) },
+	"fig13cd":  func(c Config) (Tabler, error) { return Fig13cd(c) },
+	"fig14":    func(c Config) (Tabler, error) { return Fig14(c) },
+	"fig15":    func(c Config) (Tabler, error) { return Fig15(c) },
+	"fig17":    func(c Config) (Tabler, error) { return Fig17(c) },
+	"fig19":    func(c Config) (Tabler, error) { return Fig19(c) },
+	"fig20":    func(c Config) (Tabler, error) { return Fig20(c) },
+	"fig21":    func(c Config) (Tabler, error) { return Fig21(c) },
+	"tradeoff": func(c Config) (Tabler, error) { return Tradeoff(c) },
+	"hetero":   func(c Config) (Tabler, error) { return Hetero(c) },
+}
+
+// Names returns the registered figure identifiers, sorted.
+func Names() []string {
+	out := make([]string, 0, len(Registry))
+	for name := range Registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one figure by name.
+func Run(name string, cfg Config) (Tabler, error) {
+	r, ok := Registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown figure %q (have %v)", name, Names())
+	}
+	return r(cfg)
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"repro/internal/core"
+)
+
+// TradeoffResult covers the Section 4.4 analysis: the achieved quality
+// loss against the closed-form Proposition 4.5 lower bound across ε. The
+// bound decreases monotonically with ε and never exceeds the optimum.
+type TradeoffResult struct {
+	Eps      []float64
+	ETDD     []float64
+	Prop45   []float64
+	DualBand []float64 // the Theorem 4.4 dual bound for comparison
+}
+
+// Tradeoff sweeps ε on the fleet problem.
+func Tradeoff(cfg Config) (*TradeoffResult, error) {
+	e, err := newEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	prm := e.prm
+	res := &TradeoffResult{Eps: prm.epsSweep}
+	for _, eps := range prm.epsSweep {
+		pr, err := e.fleetProblem(eps)
+		if err != nil {
+			return nil, err
+		}
+		sol, err := core.SolveCG(pr, prm.cg)
+		if err != nil {
+			return nil, err
+		}
+		res.ETDD = append(res.ETDD, sol.ETDD)
+		res.Prop45 = append(res.Prop45, pr.TradeoffLowerBound(eps))
+		res.DualBand = append(res.DualBand, sol.LowerBound)
+	}
+	return res, nil
+}
+
+// Tables renders the analysis.
+func (r *TradeoffResult) Tables() []*Table {
+	t := &Table{
+		Title:  "Section 4.4: QoS/privacy trade-off — ETDD vs lower bounds",
+		Header: []string{"eps (1/km)", "ETDD (km)", "Prop 4.5 bound", "Thm 4.4 dual bound"},
+	}
+	for i, eps := range r.Eps {
+		t.AddRowF(eps, r.ETDD[i], r.Prop45[i], r.DualBand[i])
+	}
+	return []*Table{t}
+}

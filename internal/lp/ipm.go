@@ -1,0 +1,464 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveIPM minimises the problem with an infeasible-start Mehrotra
+// predictor-corrector primal-dual interior-point method.
+//
+// The IPM complements the simplex solver: it does not return a vertex,
+// but it is essentially immune to the degeneracy and near-parallel
+// columns that stall pivoting methods, and it produces high-quality dual
+// prices — exactly what the Dantzig–Wolfe restricted master needs. Use
+// Solve when a basic (extreme-point) solution matters, SolveIPM when
+// robustness on degenerate instances matters.
+//
+// Infeasible or unbounded problems surface as IterationLimit: the method
+// is intended for instances known to be feasible and bounded (the CG
+// master always is).
+func SolveIPM(p *Problem, opts Options) (*Solution, error) {
+	if len(p.constraints) == 0 {
+		return nil, ErrNoConstraints
+	}
+	ip := newIPM(p, opts)
+	return ip.solve()
+}
+
+// ipm holds the standard-form data min c·x s.t. Ax = b, x ≥ 0.
+type ipm struct {
+	opt Options
+
+	m, n    int
+	cols    []column // A by column, row-scaled
+	b       []float64
+	c       []float64
+	numOrig int
+	rowSign []int
+	rowScl  []float64
+}
+
+func newIPM(p *Problem, opts Options) *ipm {
+	m := len(p.constraints)
+	ip := &ipm{
+		m:       m,
+		numOrig: p.numVars,
+		b:       make([]float64, m),
+		rowSign: make([]int, m),
+		rowScl:  make([]float64, m),
+	}
+
+	type rowInfo struct {
+		op   Op
+		sign float64
+	}
+	infos := make([]rowInfo, m)
+	slacks := 0
+	for i, cns := range p.constraints {
+		sign := 1.0
+		op := cns.Op
+		if cns.RHS < 0 {
+			sign = -1
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		maxAbs := 0.0
+		for _, t := range cns.Terms {
+			if a := math.Abs(t.Coef); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			maxAbs = 1
+		}
+		infos[i] = rowInfo{op: op, sign: sign}
+		ip.rowSign[i] = int(sign)
+		ip.rowScl[i] = 1 / maxAbs
+		if op != EQ {
+			slacks++
+		}
+	}
+
+	ip.cols = make([]column, p.numVars, p.numVars+slacks)
+	for i, cns := range p.constraints {
+		f := infos[i].sign * ip.rowScl[i]
+		ip.b[i] = f * cns.RHS
+		for _, t := range cns.Terms {
+			col := &ip.cols[t.Var]
+			if k := len(col.rows); k > 0 && col.rows[k-1] == int32(i) {
+				col.vals[k-1] += f * t.Coef
+				continue
+			}
+			col.rows = append(col.rows, int32(i))
+			col.vals = append(col.vals, f*t.Coef)
+		}
+	}
+	for i, info := range infos {
+		switch info.op {
+		case LE:
+			ip.cols = append(ip.cols, column{rows: []int32{int32(i)}, vals: []float64{1}})
+		case GE:
+			ip.cols = append(ip.cols, column{rows: []int32{int32(i)}, vals: []float64{-1}})
+		}
+	}
+	ip.n = len(ip.cols)
+	ip.c = make([]float64, ip.n)
+	copy(ip.c, p.objective)
+
+	ip.opt = opts.withDefaults(m, ip.n)
+	return ip
+}
+
+func (ip *ipm) solve() (*Solution, error) {
+	m, n := ip.m, ip.n
+	x := make([]float64, n)
+	s := make([]float64, n)
+	y := make([]float64, m)
+	for j := range x {
+		x[j] = 1
+		s[j] = 1
+	}
+
+	// Scale the starting point to the problem's magnitude.
+	bn, cn := norm(ip.b), norm(ip.c)
+	start := math.Max(1, math.Max(bn, cn))
+	for j := range x {
+		x[j] = start
+		s[j] = start
+	}
+
+	rp := make([]float64, m)
+	rd := make([]float64, n)
+	dx := make([]float64, n)
+	ds := make([]float64, n)
+	dy := make([]float64, m)
+	dxc := make([]float64, n)
+	dsc := make([]float64, n)
+	dyc := make([]float64, m)
+	d := make([]float64, n)
+	rhs := make([]float64, m)
+	mmat := make([]float64, m*m)
+	rc := make([]float64, n)
+
+	maxIter := 200
+	tol := 1e-9
+	// Near the optimum (and on nearly rank-deficient rows) the
+	// regularised normal equations become too ill-conditioned to push
+	// the residuals further — they can even grow while the gap
+	// underflows. The best iterate seen is therefore kept and accepted
+	// under slightly relaxed thresholds when exact tolerance is out of
+	// reach.
+	const (
+		pAccept   = 1e-5
+		dAccept   = 1e-6
+		gapAccept = 1e-7
+		// Second tier: still ample accuracy for dual prices when the
+		// first tier proves unreachable on an ill-conditioned instance.
+		pAccept2   = 1e-4
+		dAccept2   = 1e-5
+		gapAccept2 = 3e-6
+	)
+	var lastAP, lastAD, lastSigma float64
+	bestScore := math.Inf(1)
+	acceptX := make([]float64, n)
+	acceptY := make([]float64, m)
+	acceptScore := math.Inf(1)
+	acceptOK := false
+	accept2X := make([]float64, n)
+	accept2Y := make([]float64, m)
+	accept2Score := math.Inf(1)
+	accept2OK := false
+	stalled := 0
+	lastIter := 0
+
+	for iter := 0; iter < maxIter; iter++ {
+		lastIter = iter
+		// Residuals.
+		ip.residuals(x, y, s, rp, rd)
+		mu := dot(x, s) / float64(n)
+		pInf := norm(rp) / (1 + bn)
+		dInf := norm(rd) / (1 + cn)
+		gap := mu / (1 + math.Abs(dot(ip.c, x)))
+		if pInf < tol && dInf < tol && gap < tol {
+			return ip.finish(x, y, iter), nil
+		}
+		score := pInf + dInf + gap
+		if math.IsNaN(score) {
+			break
+		}
+		if score < bestScore {
+			bestScore = score
+			stalled = 0
+		} else {
+			stalled++
+		}
+		// Acceptable iterates are snapshotted independently of the raw
+		// score: the lowest-score iterate is not necessarily one that
+		// meets every threshold.
+		if pInf < pAccept && dInf < dAccept && gap < gapAccept && score < acceptScore {
+			acceptScore = score
+			copy(acceptX, x)
+			copy(acceptY, y)
+			acceptOK = true
+		}
+		if pInf < pAccept2 && dInf < dAccept2 && gap < gapAccept2 && score < accept2Score {
+			accept2Score = score
+			copy(accept2X, x)
+			copy(accept2Y, y)
+			accept2OK = true
+		}
+		// Stop when the iterates no longer improve: with an acceptable
+		// incumbent almost immediately, otherwise after a longer grace
+		// period (residuals can plateau for a stretch mid-run).
+		if (acceptOK && stalled > 3) || stalled > 30 || (mu < 1e-18 && acceptOK) {
+			break
+		}
+		if debugLP && iter%5 == 4 {
+			fmt.Printf("ipm debug: iter %d pInf %.3g dInf %.3g gap %.3g mu %.3g aP %.3g aD %.3g sigma %.3g\n",
+				iter, pInf, dInf, gap, mu, lastAP, lastAD, lastSigma)
+		}
+
+		// Normal-equations matrix M = A D Aᵀ + reg·I with D = X/S.
+		for j := 0; j < n; j++ {
+			d[j] = x[j] / s[j]
+		}
+		ip.formNormal(d, mmat)
+		reg := 1e-12 * (1 + traceMax(mmat, m))
+		for i := 0; i < m; i++ {
+			mmat[i*m+i] += reg
+		}
+		chol, ok := cholesky(mmat, m)
+		if !ok {
+			// Heavier regularisation as a fallback.
+			for i := 0; i < m; i++ {
+				mmat[i*m+i] += 1e-6 * (1 + traceMax(mmat, m))
+			}
+			chol, ok = cholesky(mmat, m)
+			if !ok {
+				return &Solution{Status: IterationLimit, Iterations: iter}, nil
+			}
+		}
+
+		// Affine-scaling (predictor) direction: rc = −x∘s.
+		for j := 0; j < n; j++ {
+			rc[j] = -x[j] * s[j]
+		}
+		ip.solveNewton(chol, d, rp, rd, rc, x, s, dy, dx, ds, rhs)
+
+		aP := math.Min(1, maxStep(x, dx))
+		aD := math.Min(1, maxStep(s, ds))
+		muAff := 0.0
+		for j := 0; j < n; j++ {
+			muAff += (x[j] + aP*dx[j]) * (s[j] + aD*ds[j])
+		}
+		muAff /= float64(n)
+		sigma := math.Pow(muAff/mu, 3)
+		if sigma > 1 {
+			sigma = 1
+		}
+		lastSigma = sigma
+
+		// Corrector direction: rc = σμe − x∘s − Δx_aff∘Δs_aff.
+		for j := 0; j < n; j++ {
+			rc[j] = sigma*mu - x[j]*s[j] - dx[j]*ds[j]
+		}
+		ip.solveNewton(chol, d, rp, rd, rc, x, s, dyc, dxc, dsc, rhs)
+
+		aP = 0.995 * maxStep(x, dxc)
+		aD = 0.995 * maxStep(s, dsc)
+		if aP > 1 {
+			aP = 1
+		}
+		if aD > 1 {
+			aD = 1
+		}
+		lastAP, lastAD = aP, aD
+		for j := 0; j < n; j++ {
+			x[j] += aP * dxc[j]
+			s[j] += aD * dsc[j]
+		}
+		for i := 0; i < m; i++ {
+			y[i] += aD * dyc[i]
+		}
+	}
+	if acceptOK {
+		return ip.finish(acceptX, acceptY, lastIter), nil
+	}
+	if accept2OK {
+		return ip.finish(accept2X, accept2Y, lastIter), nil
+	}
+	return &Solution{Status: IterationLimit, Iterations: lastIter + 1}, nil
+}
+
+// residuals computes rp = b − Ax and rd = c − Aᵀy − s.
+func (ip *ipm) residuals(x, y, s, rp, rd []float64) {
+	copy(rp, ip.b)
+	for j := 0; j < ip.n; j++ {
+		if x[j] == 0 {
+			continue
+		}
+		col := &ip.cols[j]
+		for k, r := range col.rows {
+			rp[r] -= col.vals[k] * x[j]
+		}
+	}
+	for j := 0; j < ip.n; j++ {
+		rd[j] = ip.c[j] - s[j] - dotSparse(y, &ip.cols[j])
+	}
+}
+
+// formNormal fills mmat = A diag(d) Aᵀ (dense, symmetric).
+func (ip *ipm) formNormal(d []float64, mmat []float64) {
+	m := ip.m
+	for i := range mmat {
+		mmat[i] = 0
+	}
+	for j := 0; j < ip.n; j++ {
+		col := &ip.cols[j]
+		dj := d[j]
+		for a, ra := range col.rows {
+			va := dj * col.vals[a]
+			base := int(ra) * m
+			for bIdx, rb := range col.rows {
+				mmat[base+int(rb)] += va * col.vals[bIdx]
+			}
+		}
+	}
+}
+
+// solveNewton computes the (dx, dy, ds) Newton direction for the given
+// complementarity right-hand side rc, reusing the Cholesky factor.
+func (ip *ipm) solveNewton(chol []float64, d, rp, rd, rc, x, s, dy, dx, ds, rhs []float64) {
+	m, n := ip.m, ip.n
+	// rhs = rp + A·(d∘rd − rc/s)
+	copy(rhs, rp)
+	for j := 0; j < n; j++ {
+		w := d[j]*rd[j] - rc[j]/s[j]
+		if w == 0 {
+			continue
+		}
+		col := &ip.cols[j]
+		for k, r := range col.rows {
+			rhs[r] += col.vals[k] * w
+		}
+	}
+	cholSolve(chol, m, rhs, dy)
+	// dx = d∘(Aᵀdy − rd) + rc/s ; ds = (rc − s∘dx)/x
+	for j := 0; j < n; j++ {
+		aty := dotSparse(dy, &ip.cols[j])
+		dx[j] = d[j]*(aty-rd[j]) + rc[j]/s[j]
+		ds[j] = (rc[j] - s[j]*dx[j]) / x[j]
+	}
+}
+
+// finish maps the interior solution back to the caller's variables.
+func (ip *ipm) finish(x, y []float64, iters int) *Solution {
+	sol := &Solution{Status: Optimal, Iterations: iters}
+	sol.X = make([]float64, ip.numOrig)
+	obj := 0.0
+	for j := 0; j < ip.numOrig; j++ {
+		v := x[j]
+		if v < 0 {
+			v = 0
+		}
+		sol.X[j] = v
+		obj += ip.c[j] * v
+	}
+	sol.Objective = obj
+	sol.Duals = make([]float64, ip.m)
+	for i := 0; i < ip.m; i++ {
+		sol.Duals[i] = y[i] * float64(ip.rowSign[i]) * ip.rowScl[i]
+	}
+	return sol
+}
+
+func dot(a, b []float64) float64 {
+	v := 0.0
+	for i := range a {
+		v += a[i] * b[i]
+	}
+	return v
+}
+
+func norm(a []float64) float64 {
+	v := 0.0
+	for _, x := range a {
+		v += x * x
+	}
+	return math.Sqrt(v)
+}
+
+// maxStep returns the largest α ∈ (0, 1e20] with v + α·dv ≥ 0.
+func maxStep(v, dv []float64) float64 {
+	a := math.Inf(1)
+	for j := range v {
+		if dv[j] < 0 {
+			if r := -v[j] / dv[j]; r < a {
+				a = r
+			}
+		}
+	}
+	if math.IsInf(a, 1) {
+		return 1
+	}
+	return a
+}
+
+func traceMax(mmat []float64, m int) float64 {
+	worst := 0.0
+	for i := 0; i < m; i++ {
+		if v := math.Abs(mmat[i*m+i]); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// cholesky returns the lower-triangular factor of a symmetric
+// positive-definite matrix (row-major), or false if the factorisation
+// breaks down.
+func cholesky(a []float64, m int) ([]float64, bool) {
+	l := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i*m+j]
+			for k := 0; k < j; k++ {
+				sum -= l[i*m+k] * l[j*m+k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, false
+				}
+				l[i*m+i] = math.Sqrt(sum)
+			} else {
+				l[i*m+j] = sum / l[j*m+j]
+			}
+		}
+	}
+	return l, true
+}
+
+// cholSolve solves L Lᵀ out = rhs.
+func cholSolve(l []float64, m int, rhs, out []float64) {
+	// Forward substitution into out.
+	for i := 0; i < m; i++ {
+		v := rhs[i]
+		for k := 0; k < i; k++ {
+			v -= l[i*m+k] * out[k]
+		}
+		out[i] = v / l[i*m+i]
+	}
+	// Backward substitution in place.
+	for i := m - 1; i >= 0; i-- {
+		v := out[i]
+		for k := i + 1; k < m; k++ {
+			v -= l[k*m+i] * out[k]
+		}
+		out[i] = v / l[i*m+i]
+	}
+}

@@ -1,0 +1,120 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveIPMOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := SolveIPM(p, Options{})
+	if err != nil {
+		t.Fatalf("SolveIPM: %v\n%s", err, p.DebugString())
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal\n%s", sol.Status, p.DebugString())
+	}
+	if v := p.Violation(sol.X); v > 1e-5 {
+		t.Fatalf("solution violates constraints by %g\n%s", v, p.DebugString())
+	}
+	return sol
+}
+
+func TestIPMSimpleLE(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective([]float64{-1, -2})
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 4)
+	p.AddConstraint([]Term{{1, 1}}, LE, 2)
+	sol := solveIPMOK(t, p)
+	if math.Abs(sol.Objective+6) > 1e-5 {
+		t.Fatalf("objective = %v, want -6", sol.Objective)
+	}
+}
+
+func TestIPMEquality(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective([]float64{1, 1})
+	p.AddConstraint([]Term{{0, 1}, {1, 2}}, EQ, 3)
+	p.AddConstraint([]Term{{0, 1}, {1, -1}}, EQ, 0)
+	sol := solveIPMOK(t, p)
+	if math.Abs(sol.Objective-2) > 1e-5 {
+		t.Fatalf("objective = %v, want 2", sol.Objective)
+	}
+}
+
+func TestIPMMatchesSimplexRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(4)
+		m := 2 + rng.Intn(4)
+		p := NewProblem(n)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = rng.Float64() * 5
+		}
+		p.SetObjective(c)
+		for i := 0; i < m; i++ {
+			terms := make([]Term, 0, n)
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.7 {
+					terms = append(terms, Term{j, rng.Float64() * 3})
+				}
+			}
+			if len(terms) == 0 {
+				terms = append(terms, Term{rng.Intn(n), 1})
+			}
+			p.AddConstraint(terms, GE, 1+rng.Float64()*5)
+		}
+		sx, err := Solve(p, Options{})
+		if err != nil || sx.Status != Optimal {
+			t.Fatalf("trial %d simplex: %v %v", trial, err, sx.Status)
+		}
+		si := solveIPMOK(t, p)
+		if math.Abs(sx.Objective-si.Objective) > 1e-4*(1+math.Abs(sx.Objective)) {
+			t.Fatalf("trial %d: IPM %v != simplex %v\n%s", trial, si.Objective, sx.Objective, p.DebugString())
+		}
+	}
+}
+
+func TestIPMDualsStrongDuality(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective([]float64{2, 3})
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 10)
+	p.AddConstraint([]Term{{0, 1}}, GE, 2)
+	p.AddConstraint([]Term{{1, 1}}, GE, 3)
+	sol := solveIPMOK(t, p)
+	dual := 10*sol.Duals[0] + 2*sol.Duals[1] + 3*sol.Duals[2]
+	if math.Abs(dual-sol.Objective) > 1e-5*(1+math.Abs(dual)) {
+		t.Fatalf("strong duality violated: dual %v primal %v", dual, sol.Objective)
+	}
+}
+
+func TestIPMDegenerateParallelColumns(t *testing.T) {
+	// Many near-parallel columns under equality rows: the structure that
+	// stalls pivoting methods. IPM must sail through.
+	rng := rand.New(rand.NewSource(12))
+	const m, n = 30, 120
+	p := NewProblem(n)
+	base := make([]float64, m)
+	for i := range base {
+		base[i] = rng.Float64()
+	}
+	for j := 0; j < n; j++ {
+		p.SetObjectiveCoeff(j, rng.Float64())
+	}
+	rows := make([][]Term, m)
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			v := base[i] * (1 + 1e-4*rng.NormFloat64())
+			rows[i] = append(rows[i], Term{j, v})
+		}
+	}
+	for i := 0; i < m; i++ {
+		p.AddConstraint(rows[i], EQ, base[i]*10)
+	}
+	sol := solveIPMOK(t, p)
+	if sol.Iterations >= 200 {
+		t.Fatalf("IPM failed to converge in %d iterations", sol.Iterations)
+	}
+}

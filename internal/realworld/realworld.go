@@ -1,0 +1,195 @@
+// Package realworld reproduces the paper's prototype pilot study
+// (Section 5.2) with a scripted vehicle instead of a human driver: a
+// campus-scale map (or the contrasting Region A / Region B maps), a
+// random deployment of tasks, a participant that drives the map
+// reporting an obfuscated location every 20–30 s, and a server that
+// assigns the nearest task by estimated distance. Each test group
+// measures the empirical quality loss (ETDD against the assigned task)
+// and the privacy level (the Bayesian adversary's error on the reported
+// sequence).
+package realworld
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/discretize"
+	"repro/internal/roadnet"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Config parameterises one pilot study.
+type Config struct {
+	// Delta is the interval length (paper: 0.05 km).
+	Delta float64
+	// Epsilon and Radius are the Geo-I parameters.
+	Epsilon float64
+	Radius  float64
+	// Tasks is the number of tasks deployed per group.
+	Tasks int
+	// Groups is the number of independent test groups (paper: 20).
+	Groups int
+	// ReportEvery is the seconds between location reports (paper: 20–30).
+	ReportEvery float64
+	// DriveTime is the seconds each group's participant drives.
+	DriveTime float64
+	// CG configures the solver used for the region's mechanism.
+	CG core.CGOptions
+}
+
+// DefaultConfig mirrors the paper's pilot at laptop scale.
+func DefaultConfig() Config {
+	return Config{
+		Delta:       0.1,
+		Epsilon:     5,
+		Tasks:       5,
+		Groups:      20,
+		ReportEvery: 25,
+		DriveTime:   1200,
+		CG:          core.CGOptions{Xi: -0.05, RelGap: 0.03},
+	}
+}
+
+// GroupResult is the outcome of one test group.
+type GroupResult struct {
+	// ETDD is the empirical quality loss: the mean over reports of
+	// |d(p, q*) − d(p̃, q*)| where q* is the task the server assigns
+	// from the obfuscated report (its nearest-task choice).
+	ETDD float64
+	// AdvError is the mean travel distance between the Bayesian
+	// adversary's optimal estimate and the true location over the
+	// group's reports.
+	AdvError float64
+	// Reports is the number of location reports in the group.
+	Reports int
+}
+
+// Result is a full pilot study outcome.
+type Result struct {
+	// Mechanism is the region's solved obfuscation mechanism.
+	Mechanism *core.Mechanism
+	// LowerBound is the solver's dual (Theorem 4.4) bound on the model
+	// ETDD, the reference line of Fig. 17.
+	LowerBound float64
+	// ModelETDD is the model-predicted quality loss of the mechanism
+	// (against the uniform task prior the mechanism was solved with).
+	ModelETDD float64
+	Groups    []GroupResult
+}
+
+// MeanETDD returns the across-group mean empirical ETDD.
+func (r *Result) MeanETDD() float64 {
+	xs := make([]float64, len(r.Groups))
+	for i, g := range r.Groups {
+		xs[i] = g.ETDD
+	}
+	return stats.Mean(xs)
+}
+
+// MeanAdvError returns the across-group mean adversary error.
+func (r *Result) MeanAdvError() float64 {
+	xs := make([]float64, len(r.Groups))
+	for i, g := range r.Groups {
+		xs[i] = g.AdvError
+	}
+	return stats.Mean(xs)
+}
+
+// Run solves the region's mechanism once (the server ships one
+// obfuscation function per region, built from historical priors — not
+// one per task deployment) and then executes the test groups.
+func Run(rng *rand.Rand, g *roadnet.Graph, cfg Config) (*Result, error) {
+	part, err := discretize.New(g, cfg.Delta)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := core.NewProblem(part, core.Config{Epsilon: cfg.Epsilon, Radius: cfg.Radius})
+	if err != nil {
+		return nil, err
+	}
+	sol, err := core.SolveCG(pr, cfg.CG)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Mechanism:  sol.Mechanism,
+		LowerBound: sol.LowerBound,
+		ModelETDD:  sol.ETDD,
+	}
+	for grp := 0; grp < cfg.Groups; grp++ {
+		gr, err := RunGroup(rng, pr, sol.Mechanism, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Groups = append(res.Groups, gr)
+	}
+	return res, nil
+}
+
+// RunGroup deploys tasks, drives the participant and measures one group
+// with the given (already solved) mechanism.
+func RunGroup(rng *rand.Rand, pr *core.Problem, mech *core.Mechanism, cfg Config) (GroupResult, error) {
+	part := pr.Part
+	g := part.G
+
+	// Deploy tasks uniformly over the region.
+	if cfg.Tasks < 1 {
+		return GroupResult{}, fmt.Errorf("realworld: need at least one task, got %d", cfg.Tasks)
+	}
+	tasks := make([]roadnet.Location, cfg.Tasks)
+	for i := range tasks {
+		tasks[i] = roadnet.RandomLocation(rng, g)
+	}
+
+	// The participant drives and reports every ReportEvery seconds.
+	traces, err := trace.Simulate(rng, g, trace.SimConfig{
+		Vehicles:    1,
+		Duration:    cfg.DriveTime,
+		RecordEvery: cfg.ReportEvery,
+		SpeedKmh:    30,
+		CenterBias:  0.5,
+	})
+	if err != nil {
+		return GroupResult{}, err
+	}
+	records := traces[0].Records
+	if len(records) == 0 {
+		return GroupResult{}, fmt.Errorf("realworld: participant produced no reports")
+	}
+
+	adv, err := attack.NewBayes(mech, pr.PriorP)
+	if err != nil {
+		return GroupResult{}, err
+	}
+
+	var gr GroupResult
+	for _, rec := range records {
+		truth := rec.Loc
+		obf := mech.Sample(rng, truth)
+
+		// Server: assign the task nearest to the reported location.
+		best, bestD := 0, part.TravelDistMinLoc(obf, tasks[0])
+		for ti := 1; ti < len(tasks); ti++ {
+			if d := part.TravelDistMinLoc(obf, tasks[ti]); d < bestD {
+				best, bestD = ti, d
+			}
+		}
+		q := tasks[best]
+		etdd := part.TravelDistLoc(truth, q) - part.TravelDistLoc(obf, q)
+		if etdd < 0 {
+			etdd = -etdd
+		}
+		gr.ETDD += etdd
+
+		// Adversary: optimal estimate from the reported interval.
+		ti, oi := part.Locate(truth), part.Locate(obf)
+		gr.AdvError += part.MidDistMin(ti, adv.Estimate(oi))
+		gr.Reports++
+	}
+	gr.ETDD /= float64(gr.Reports)
+	gr.AdvError /= float64(gr.Reports)
+	return gr, nil
+}

@@ -1,0 +1,70 @@
+package realworld
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/roadnet"
+)
+
+func quickConfig() Config {
+	return Config{
+		Delta:       0.3,
+		Epsilon:     5,
+		Tasks:       4,
+		Groups:      4,
+		ReportEvery: 25,
+		DriveTime:   400,
+		CG:          core.CGOptions{Xi: -0.2, RelGap: 0.1, MaxIterations: 15},
+	}
+}
+
+func TestRunPilotStudy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := roadnet.Grid(rng, roadnet.GridConfig{
+		Rows: 2, Cols: 3, Spacing: 0.3, OneWayFrac: 0.4, WeightJitter: 0.15,
+	})
+	res, err := Run(rng, g, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 4 {
+		t.Fatalf("%d groups, want 4", len(res.Groups))
+	}
+	for i, gr := range res.Groups {
+		if gr.Reports == 0 {
+			t.Fatalf("group %d has no reports", i)
+		}
+		if gr.ETDD < 0 || gr.AdvError < 0 {
+			t.Fatalf("group %d has negative metrics: %+v", i, gr)
+		}
+	}
+	if res.MeanETDD() <= 0 {
+		t.Fatalf("mean empirical ETDD %v, expected positive under obfuscation", res.MeanETDD())
+	}
+	if res.MeanAdvError() <= 0 {
+		t.Fatalf("mean AdvError %v, expected positive under obfuscation", res.MeanAdvError())
+	}
+	if res.LowerBound > res.ModelETDD+1e-9 {
+		t.Fatalf("dual bound %v above model ETDD %v", res.LowerBound, res.ModelETDD)
+	}
+}
+
+func TestRunGroupRejectsZeroTasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := roadnet.Grid(rng, roadnet.GridConfig{Rows: 2, Cols: 2, Spacing: 0.3})
+	cfg := quickConfig()
+	res, err := Run(rng, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tasks = 0
+	pr, err := core.NewProblem(res.Mechanism.Part, core.Config{Epsilon: cfg.Epsilon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunGroup(rng, pr, res.Mechanism, cfg); err == nil {
+		t.Fatal("accepted zero tasks")
+	}
+}

@@ -1,0 +1,167 @@
+package roadnet
+
+import (
+	"container/heap"
+	"math"
+)
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// SPT is a shortest-path tree rooted at Root. For an out-tree
+// (Reverse = false) Dist[v] is the travel distance Root→v and Parent[v]
+// is the final edge of that path (entering v). For an in-tree
+// (Reverse = true) Dist[v] is the distance v→Root and Parent[v] is the
+// first edge of that path (leaving v). Unreachable nodes have
+// Dist = +Inf and Parent = NoEdge.
+type SPT struct {
+	Root    NodeID
+	Reverse bool
+	Dist    []float64
+	Parent  []EdgeID
+}
+
+// ShortestPathTree runs Dijkstra from src over out-edges, returning the
+// out-tree (the paper's SPT-Out).
+func (g *Graph) ShortestPathTree(src NodeID) *SPT {
+	return g.dijkstra(src, false)
+}
+
+// ReverseShortestPathTree runs Dijkstra toward dst over in-edges,
+// returning the in-tree (the paper's SPT-In): distances from every node
+// to dst.
+func (g *Graph) ReverseShortestPathTree(dst NodeID) *SPT {
+	return g.dijkstra(dst, true)
+}
+
+func (g *Graph) dijkstra(root NodeID, reverse bool) *SPT {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	parent := make([]EdgeID, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = NoEdge
+	}
+	dist[root] = 0
+
+	q := make(pq, 0, n)
+	heap.Push(&q, pqItem{root, 0})
+	done := make([]bool, n)
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		var adj []EdgeID
+		if reverse {
+			adj = g.in[u]
+		} else {
+			adj = g.out[u]
+		}
+		for _, eid := range adj {
+			e := g.edges[eid]
+			var v NodeID
+			if reverse {
+				v = e.From
+			} else {
+				v = e.To
+			}
+			if nd := it.dist + e.Weight; nd < dist[v] {
+				dist[v] = nd
+				parent[v] = eid
+				heap.Push(&q, pqItem{v, nd})
+			}
+		}
+	}
+	return &SPT{Root: root, Reverse: reverse, Dist: dist, Parent: parent}
+}
+
+// PathEdges returns the edges of the tree path between v and the root, in
+// travel order (root→v for an out-tree, v→root for an in-tree). It
+// returns nil when v is unreachable.
+func (t *SPT) PathEdges(g *Graph, v NodeID) []EdgeID {
+	if math.IsInf(t.Dist[v], 1) {
+		return nil
+	}
+	var rev []EdgeID
+	cur := v
+	for cur != t.Root {
+		eid := t.Parent[cur]
+		if eid == NoEdge {
+			return nil
+		}
+		rev = append(rev, eid)
+		e := g.edges[eid]
+		if t.Reverse {
+			cur = e.To
+		} else {
+			cur = e.From
+		}
+	}
+	if t.Reverse {
+		// Parent chain already walks v→root in travel order; rev holds
+		// the first edge first.
+		return rev
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// DistMatrix holds all-pairs shortest node-to-node traveling distances.
+type DistMatrix struct {
+	n int
+	d []float64
+}
+
+// AllPairs computes all-pairs shortest distances with one Dijkstra per
+// node: O(n·(m + n log n)). Road graphs are sparse, so this beats
+// Floyd-Warshall well past the sizes the experiments use.
+func (g *Graph) AllPairs() *DistMatrix {
+	n := g.NumNodes()
+	m := &DistMatrix{n: n, d: make([]float64, n*n)}
+	for u := 0; u < n; u++ {
+		t := g.ShortestPathTree(NodeID(u))
+		copy(m.d[u*n:(u+1)*n], t.Dist)
+	}
+	return m
+}
+
+// Dist returns the shortest traveling distance from u to v.
+func (m *DistMatrix) Dist(u, v NodeID) float64 { return m.d[int(u)*m.n+int(v)] }
+
+// Min returns min{d(u,v), d(v,u)}.
+func (m *DistMatrix) Min(u, v NodeID) float64 {
+	return math.Min(m.Dist(u, v), m.Dist(v, u))
+}
+
+// Diameter returns the largest finite pairwise distance.
+func (m *DistMatrix) Diameter() float64 {
+	worst := 0.0
+	for _, v := range m.d {
+		if !math.IsInf(v, 1) && v > worst {
+			worst = v
+		}
+	}
+	return worst
+}

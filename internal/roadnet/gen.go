@@ -1,0 +1,251 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// GridConfig parameterises the synthetic grid-city generator.
+type GridConfig struct {
+	Rows, Cols int     // intersections per side (≥ 2)
+	Spacing    float64 // block length in km
+	// OneWayFrac is the probability that an interior street line (a whole
+	// row or column of segments) becomes one-way. Adjacent one-way lines
+	// alternate direction, Manhattan style; border lines stay two-way so
+	// the network remains strongly connected.
+	OneWayFrac float64
+	// WeightJitter inflates each segment's travel weight by a factor
+	// uniform in [1, 1+WeightJitter], modelling curved or slow roads.
+	WeightJitter float64
+	// Origin offsets the grid in the plane.
+	Origin geom.Point
+}
+
+// Grid generates a rows×cols Manhattan-style grid city. The result is
+// always strongly connected.
+func Grid(rng *rand.Rand, cfg GridConfig) *Graph {
+	if cfg.Rows < 2 || cfg.Cols < 2 {
+		panic("roadnet: Grid needs Rows, Cols >= 2")
+	}
+	if cfg.Spacing <= 0 {
+		panic("roadnet: Grid needs positive Spacing")
+	}
+	g := NewGraph()
+	ids := make([][]NodeID, cfg.Rows)
+	for r := 0; r < cfg.Rows; r++ {
+		ids[r] = make([]NodeID, cfg.Cols)
+		for c := 0; c < cfg.Cols; c++ {
+			ids[r][c] = g.AddNode(geom.Point{
+				X: cfg.Origin.X + float64(c)*cfg.Spacing,
+				Y: cfg.Origin.Y + float64(r)*cfg.Spacing,
+			})
+		}
+	}
+
+	jitter := func() float64 {
+		if cfg.WeightJitter <= 0 {
+			return 1
+		}
+		return 1 + rng.Float64()*cfg.WeightJitter
+	}
+	weight := func(a, b NodeID) float64 {
+		return geom.Dist(g.Node(a).Pos, g.Node(b).Pos) * jitter()
+	}
+
+	// Decide one-way status per line. Direction alternates with the line
+	// index so traffic can always circulate.
+	rowOneWay := make([]bool, cfg.Rows)
+	colOneWay := make([]bool, cfg.Cols)
+	for r := 1; r < cfg.Rows-1; r++ {
+		rowOneWay[r] = rng.Float64() < cfg.OneWayFrac
+	}
+	for c := 1; c < cfg.Cols-1; c++ {
+		colOneWay[c] = rng.Float64() < cfg.OneWayFrac
+	}
+
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c+1 < cfg.Cols; c++ {
+			a, b := ids[r][c], ids[r][c+1]
+			switch {
+			case !rowOneWay[r]:
+				g.AddEdge(a, b, weight(a, b))
+				g.AddEdge(b, a, weight(a, b))
+			case r%2 == 0:
+				g.AddEdge(a, b, weight(a, b)) // eastbound
+			default:
+				g.AddEdge(b, a, weight(a, b)) // westbound
+			}
+		}
+	}
+	for c := 0; c < cfg.Cols; c++ {
+		for r := 0; r+1 < cfg.Rows; r++ {
+			a, b := ids[r][c], ids[r+1][c]
+			switch {
+			case !colOneWay[c]:
+				g.AddEdge(a, b, weight(a, b))
+				g.AddEdge(b, a, weight(a, b))
+			case c%2 == 0:
+				g.AddEdge(a, b, weight(a, b)) // northbound
+			default:
+				g.AddEdge(b, a, weight(a, b)) // southbound
+			}
+		}
+	}
+
+	if !g.StronglyConnected() {
+		// With two-way borders this cannot happen for Rows, Cols >= 2,
+		// but guard against future generator edits: fall back to the
+		// fully two-way grid, which is trivially strongly connected.
+		cfg.OneWayFrac = 0
+		return Grid(rng, cfg)
+	}
+	return g
+}
+
+// RomeLikeConfig sizes the composite "Rome-like" city used by the
+// trace-driven simulation: a dense downtown grid, a ring road around it
+// and radial arteries reaching sparse suburb spurs.
+type RomeLikeConfig struct {
+	DowntownRows, DowntownCols int
+	DowntownSpacing            float64
+	RingRadiusFactor           float64 // ring radius as a multiple of the downtown half-diagonal
+	Radials                    int     // number of radial arteries (≥ 3)
+	SuburbDepth                int     // extra nodes strung outward past the ring on each radial
+	SuburbSpacing              float64
+	OneWayFrac                 float64
+	WeightJitter               float64
+}
+
+// DefaultRomeLike returns the configuration used by the headline
+// simulation experiments: large enough to show every effect, small
+// enough that a full figure regenerates in seconds.
+func DefaultRomeLike() RomeLikeConfig {
+	return RomeLikeConfig{
+		DowntownRows:     5,
+		DowntownCols:     5,
+		DowntownSpacing:  0.25,
+		RingRadiusFactor: 1.6,
+		Radials:          6,
+		SuburbDepth:      2,
+		SuburbSpacing:    0.5,
+		OneWayFrac:       0.5,
+		WeightJitter:     0.15,
+	}
+}
+
+// RomeLike generates the composite city. The downtown grid sits at the
+// origin-centred block; suburbs hang off the ring road.
+func RomeLike(rng *rand.Rand, cfg RomeLikeConfig) *Graph {
+	if cfg.Radials < 3 {
+		panic("roadnet: RomeLike needs at least 3 radials")
+	}
+	halfW := float64(cfg.DowntownCols-1) * cfg.DowntownSpacing / 2
+	halfH := float64(cfg.DowntownRows-1) * cfg.DowntownSpacing / 2
+	g := Grid(rng, GridConfig{
+		Rows:         cfg.DowntownRows,
+		Cols:         cfg.DowntownCols,
+		Spacing:      cfg.DowntownSpacing,
+		OneWayFrac:   cfg.OneWayFrac,
+		WeightJitter: cfg.WeightJitter,
+		Origin:       geom.Point{X: -halfW, Y: -halfH},
+	})
+
+	jitter := func() float64 {
+		if cfg.WeightJitter <= 0 {
+			return 1
+		}
+		return 1 + rng.Float64()*cfg.WeightJitter
+	}
+
+	// Ring road: two-way polygon around downtown.
+	radius := math.Hypot(halfW, halfH) * cfg.RingRadiusFactor
+	ring := make([]NodeID, cfg.Radials)
+	for i := 0; i < cfg.Radials; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(cfg.Radials)
+		ring[i] = g.AddNode(geom.Point{X: radius * math.Cos(ang), Y: radius * math.Sin(ang)})
+	}
+	for i := 0; i < cfg.Radials; i++ {
+		a, b := ring[i], ring[(i+1)%cfg.Radials]
+		w := geom.Dist(g.Node(a).Pos, g.Node(b).Pos) * jitter()
+		g.AddTwoWay(a, b, w)
+	}
+
+	// Radial arteries: connect each ring node to the nearest downtown
+	// border node, two-way.
+	for i := 0; i < cfg.Radials; i++ {
+		rp := g.Node(ring[i]).Pos
+		best := NodeID(0)
+		bestD := math.Inf(1)
+		for n := 0; n < cfg.DowntownRows*cfg.DowntownCols; n++ {
+			if d := geom.Dist(g.Node(NodeID(n)).Pos, rp); d < bestD {
+				bestD = d
+				best = NodeID(n)
+			}
+		}
+		g.AddTwoWay(ring[i], best, bestD*jitter())
+	}
+
+	// Suburb spurs: chains of nodes stretching outward from ring nodes.
+	for i := 0; i < cfg.Radials; i++ {
+		prev := ring[i]
+		ang := 2 * math.Pi * float64(i) / float64(cfg.Radials)
+		for d := 1; d <= cfg.SuburbDepth; d++ {
+			r := radius + float64(d)*cfg.SuburbSpacing
+			n := g.AddNode(geom.Point{X: r * math.Cos(ang), Y: r * math.Sin(ang)})
+			w := geom.Dist(g.Node(prev).Pos, g.Node(n).Pos) * jitter()
+			g.AddTwoWay(prev, n, w)
+			prev = n
+		}
+	}
+
+	return g
+}
+
+// RegionA generates the paper's rural pilot-study region: sparse,
+// long blocks, no one-way streets.
+func RegionA(rng *rand.Rand) *Graph {
+	return Grid(rng, GridConfig{
+		Rows: 3, Cols: 4,
+		Spacing:      0.6,
+		OneWayFrac:   0,
+		WeightJitter: 0.25,
+	})
+}
+
+// RegionB generates the paper's downtown pilot-study region: dense,
+// short blocks, many one-way streets.
+func RegionB(rng *rand.Rand) *Graph {
+	return Grid(rng, GridConfig{
+		Rows: 6, Cols: 6,
+		Spacing:      0.15,
+		OneWayFrac:   0.8,
+		WeightJitter: 0.1,
+	})
+}
+
+// Campus generates the Rowan-campus-scale map used by the prototype
+// pilot study (Fig. 17): a medium grid with a few one-way streets.
+func Campus(rng *rand.Rand) *Graph {
+	return Grid(rng, GridConfig{
+		Rows: 4, Cols: 5,
+		Spacing:      0.3,
+		OneWayFrac:   0.4,
+		WeightJitter: 0.15,
+	})
+}
+
+// RandomLocation draws a location uniformly over the total directed edge
+// length of the graph.
+func RandomLocation(rng *rand.Rand, g *Graph) Location {
+	target := rng.Float64() * g.TotalLength()
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(EdgeID(i))
+		if target <= e.Weight || i == g.NumEdges()-1 {
+			return LocationFromStart(g, e.ID, geom.Clamp(target, 0, e.Weight))
+		}
+		target -= e.Weight
+	}
+	panic("roadnet: empty graph")
+}

@@ -1,0 +1,328 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// line builds the 3-node one-way chain a→b→c with unit weights.
+func line(t *testing.T) (*Graph, []NodeID) {
+	t.Helper()
+	g := NewGraph()
+	a := g.AddNode(geom.Point{X: 0, Y: 0})
+	b := g.AddNode(geom.Point{X: 1, Y: 0})
+	c := g.AddNode(geom.Point{X: 2, Y: 0})
+	g.AddEdge(a, b, 0) // Euclidean weight = 1
+	g.AddEdge(b, c, 0)
+	return g, []NodeID{a, b, c}
+}
+
+func TestAddEdgeEuclideanWeight(t *testing.T) {
+	g, _ := line(t)
+	if w := g.Edge(0).Weight; math.Abs(w-1) > 1e-12 {
+		t.Fatalf("weight = %v, want 1", w)
+	}
+}
+
+func TestAddTwoWay(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(geom.Point{})
+	b := g.AddNode(geom.Point{X: 2})
+	e1, e2 := g.AddTwoWay(a, b, 3)
+	if g.Edge(e1).From != a || g.Edge(e1).To != b || g.Edge(e2).From != b || g.Edge(e2).To != a {
+		t.Fatal("two-way edges misdirected")
+	}
+	if g.Edge(e1).Weight != 3 || g.Edge(e2).Weight != 3 {
+		t.Fatal("two-way weights wrong")
+	}
+}
+
+func TestValidateCatchesSelfLoop(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode(geom.Point{})
+	b := g.AddNode(geom.Point{X: 1})
+	g.AddEdge(a, b, 1)
+	g.edges = append(g.edges, Edge{ID: 1, From: a, To: a, Weight: 1})
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted a self-loop")
+	}
+}
+
+func TestStronglyConnected(t *testing.T) {
+	g, _ := line(t) // one-way chain: not strongly connected
+	if g.StronglyConnected() {
+		t.Fatal("one-way chain reported strongly connected")
+	}
+	g2 := NewGraph()
+	a := g2.AddNode(geom.Point{})
+	b := g2.AddNode(geom.Point{X: 1})
+	g2.AddTwoWay(a, b, 1)
+	if !g2.StronglyConnected() {
+		t.Fatal("two-way pair reported not strongly connected")
+	}
+}
+
+func TestDijkstraChain(t *testing.T) {
+	g, ids := line(t)
+	spt := g.ShortestPathTree(ids[0])
+	want := []float64{0, 1, 2}
+	for i, w := range want {
+		if math.Abs(spt.Dist[i]-w) > 1e-12 {
+			t.Fatalf("dist[%d] = %v, want %v", i, spt.Dist[i], w)
+		}
+	}
+	if !math.IsInf(g.ShortestPathTree(ids[2]).Dist[ids[0]], 1) {
+		t.Fatal("backwards distance should be infinite on a one-way chain")
+	}
+}
+
+func TestReverseSPTMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := Grid(rng, GridConfig{Rows: 4, Cols: 4, Spacing: 0.2, OneWayFrac: 0.5, WeightJitter: 0.2})
+	dst := NodeID(5)
+	in := g.ReverseShortestPathTree(dst)
+	for u := 0; u < g.NumNodes(); u++ {
+		fwd := g.ShortestPathTree(NodeID(u))
+		if math.Abs(fwd.Dist[dst]-in.Dist[u]) > 1e-9 {
+			t.Fatalf("dist(%d→%d): forward %v reverse %v", u, dst, fwd.Dist[dst], in.Dist[u])
+		}
+	}
+}
+
+func TestSPTPathEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := Grid(rng, GridConfig{Rows: 3, Cols: 3, Spacing: 0.5, OneWayFrac: 0.5})
+	out := g.ShortestPathTree(0)
+	for v := 1; v < g.NumNodes(); v++ {
+		path := out.PathEdges(g, NodeID(v))
+		if path == nil {
+			t.Fatalf("no path 0→%d in strongly connected graph", v)
+		}
+		// Path must chain correctly and sum to Dist.
+		cur := NodeID(0)
+		total := 0.0
+		for _, eid := range path {
+			e := g.Edge(eid)
+			if e.From != cur {
+				t.Fatalf("path edge %d does not start at %d", eid, cur)
+			}
+			cur = e.To
+			total += e.Weight
+		}
+		if cur != NodeID(v) {
+			t.Fatalf("path ends at %d, want %d", cur, v)
+		}
+		if math.Abs(total-out.Dist[v]) > 1e-9 {
+			t.Fatalf("path length %v, Dist %v", total, out.Dist[v])
+		}
+	}
+
+	in := g.ReverseShortestPathTree(0)
+	for v := 1; v < g.NumNodes(); v++ {
+		path := in.PathEdges(g, NodeID(v))
+		cur := NodeID(v)
+		total := 0.0
+		for _, eid := range path {
+			e := g.Edge(eid)
+			if e.From != cur {
+				t.Fatalf("reverse path edge %d does not start at %d", eid, cur)
+			}
+			cur = e.To
+			total += e.Weight
+		}
+		if cur != 0 {
+			t.Fatalf("reverse path ends at %d, want 0", cur)
+		}
+		if math.Abs(total-in.Dist[v]) > 1e-9 {
+			t.Fatalf("reverse path length %v, Dist %v", total, in.Dist[v])
+		}
+	}
+}
+
+func TestAllPairsMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := Grid(rng, GridConfig{Rows: 4, Cols: 3, Spacing: 0.3, OneWayFrac: 0.6, WeightJitter: 0.3})
+	m := g.AllPairs()
+	for u := 0; u < g.NumNodes(); u++ {
+		spt := g.ShortestPathTree(NodeID(u))
+		for v := 0; v < g.NumNodes(); v++ {
+			if math.Abs(m.Dist(NodeID(u), NodeID(v))-spt.Dist[v]) > 1e-12 {
+				t.Fatalf("AllPairs(%d,%d) = %v, Dijkstra %v", u, v, m.Dist(NodeID(u), NodeID(v)), spt.Dist[v])
+			}
+		}
+	}
+	if m.Diameter() <= 0 {
+		t.Fatal("diameter should be positive")
+	}
+}
+
+func TestTriangleInequalityAllPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := RomeLike(rng, DefaultRomeLike())
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.StronglyConnected() {
+		t.Fatal("RomeLike not strongly connected")
+	}
+	m := g.AllPairs()
+	n := g.NumNodes()
+	for trial := 0; trial < 2000; trial++ {
+		u := NodeID(rng.Intn(n))
+		v := NodeID(rng.Intn(n))
+		w := NodeID(rng.Intn(n))
+		if m.Dist(u, w) > m.Dist(u, v)+m.Dist(v, w)+1e-9 {
+			t.Fatalf("triangle inequality violated: d(%d,%d)=%v > %v + %v",
+				u, w, m.Dist(u, w), m.Dist(u, v), m.Dist(v, w))
+		}
+	}
+}
+
+func TestTravelDistSameEdge(t *testing.T) {
+	g, ids := line(t)
+	_ = ids
+	e := EdgeID(0)
+	p := Location{Edge: e, ToEnd: 0.8} // 0.2 from start
+	q := Location{Edge: e, ToEnd: 0.3} // 0.7 from start
+	m := g.AllPairs()
+	nd := m.Dist
+	// p upstream of q: direct drive 0.5.
+	if d := TravelDist(g, nd, p, q); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("d(p,q) = %v, want 0.5", d)
+	}
+	// q to p must loop, but the chain is one-way: infinite.
+	if d := TravelDist(g, nd, q, p); !math.IsInf(d, 1) {
+		t.Fatalf("d(q,p) = %v, want +Inf on a one-way chain", d)
+	}
+}
+
+func TestTravelDistAcrossEdges(t *testing.T) {
+	g, _ := line(t)
+	m := g.AllPairs()
+	nd := m.Dist
+	p := Location{Edge: 0, ToEnd: 0.4}
+	q := Location{Edge: 1, ToEnd: 0.9} // 0.1 from start of edge 1
+	// p→head(e0)=0.4, head(e0)=tail(e1), then 0.1 into edge 1: total 0.5.
+	if d := TravelDist(g, nd, p, q); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("d(p,q) = %v, want 0.5", d)
+	}
+}
+
+func TestTravelDistMinSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := Grid(rng, GridConfig{Rows: 3, Cols: 3, Spacing: 0.4, OneWayFrac: 0.5})
+	m := g.AllPairs()
+	nd := m.Dist
+	for trial := 0; trial < 200; trial++ {
+		p := RandomLocation(rng, g)
+		q := RandomLocation(rng, g)
+		if math.Abs(TravelDistMin(g, nd, p, q)-TravelDistMin(g, nd, q, p)) > 1e-12 {
+			t.Fatalf("d_min not symmetric for %v, %v", p, q)
+		}
+		if TravelDistMin(g, nd, p, q) < 0 {
+			t.Fatalf("negative distance for %v, %v", p, q)
+		}
+	}
+}
+
+func TestLocationRoundTrip(t *testing.T) {
+	g, _ := line(t)
+	l := LocationFromStart(g, 0, 0.25)
+	if math.Abs(l.ToEnd-0.75) > 1e-12 {
+		t.Fatalf("ToEnd = %v, want 0.75", l.ToEnd)
+	}
+	if math.Abs(l.FromStart(g)-0.25) > 1e-12 {
+		t.Fatalf("FromStart = %v, want 0.25", l.FromStart(g))
+	}
+	pt := l.Point(g)
+	if math.Abs(pt.X-0.25) > 1e-12 || pt.Y != 0 {
+		t.Fatalf("Point = %v, want (0.25, 0)", pt)
+	}
+	if !l.Valid(g) {
+		t.Fatal("valid location reported invalid")
+	}
+	if (Location{Edge: 99, ToEnd: 0}).Valid(g) {
+		t.Fatal("invalid edge reported valid")
+	}
+}
+
+func TestNearestLocation(t *testing.T) {
+	g, _ := line(t)
+	loc := g.NearestLocation(geom.Point{X: 1.5, Y: 0.3})
+	if loc.Edge != 1 {
+		t.Fatalf("snapped to edge %d, want 1", loc.Edge)
+	}
+	if math.Abs(loc.FromStart(g)-0.5) > 1e-9 {
+		t.Fatalf("snapped offset %v, want 0.5", loc.FromStart(g))
+	}
+}
+
+func TestGridGenerator(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, frac := range []float64{0, 0.5, 1} {
+		g := Grid(rng, GridConfig{Rows: 5, Cols: 4, Spacing: 0.2, OneWayFrac: frac, WeightJitter: 0.2})
+		if err := g.Validate(); err != nil {
+			t.Fatalf("frac %v: %v", frac, err)
+		}
+		if !g.StronglyConnected() {
+			t.Fatalf("frac %v: not strongly connected", frac)
+		}
+		if g.NumNodes() != 20 {
+			t.Fatalf("frac %v: %d nodes, want 20", frac, g.NumNodes())
+		}
+	}
+}
+
+func TestGeneratorsConnectedAndValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for name, g := range map[string]*Graph{
+		"RegionA":  RegionA(rng),
+		"RegionB":  RegionB(rng),
+		"Campus":   Campus(rng),
+		"RomeLike": RomeLike(rng, DefaultRomeLike()),
+	} {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !g.StronglyConnected() {
+			t.Fatalf("%s: not strongly connected", name)
+		}
+	}
+}
+
+func TestRegionBDenserThanRegionA(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a, b := RegionA(rng), RegionB(rng)
+	// Density = edges per unit length of map side; downtown must be denser.
+	da := float64(a.NumEdges()) / a.TotalLength()
+	db := float64(b.NumEdges()) / b.TotalLength()
+	if db <= da {
+		t.Fatalf("downtown density %v not greater than rural %v", db, da)
+	}
+}
+
+func TestRandomLocationUniformish(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	g, _ := line(t)
+	counts := [2]int{}
+	for i := 0; i < 4000; i++ {
+		counts[RandomLocation(rng, g).Edge]++
+	}
+	// Two unit edges: expect roughly even split.
+	if counts[0] < 1700 || counts[0] > 2300 {
+		t.Fatalf("edge 0 drawn %d of 4000, expected ≈2000", counts[0])
+	}
+}
+
+func TestRandomLocationAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	g := RomeLike(rng, DefaultRomeLike())
+	for i := 0; i < 1000; i++ {
+		if l := RandomLocation(rng, g); !l.Valid(g) {
+			t.Fatalf("invalid random location %v", l)
+		}
+	}
+}

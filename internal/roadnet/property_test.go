@@ -1,0 +1,138 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// randomConnectedGraph builds a random strongly connected graph by
+// layering a two-way spanning cycle with random one-way chords.
+func randomConnectedGraph(rng *rand.Rand, n int) *Graph {
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		g.AddNode(geom.Point{X: rng.Float64() * 2, Y: rng.Float64() * 2})
+	}
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		a, b := NodeID(perm[i]), NodeID(perm[(i+1)%n])
+		w := geom.Dist(g.Node(a).Pos, g.Node(b).Pos)
+		if w == 0 {
+			w = 0.01
+		}
+		g.AddTwoWay(a, b, w)
+	}
+	chords := rng.Intn(2 * n)
+	for c := 0; c < chords; c++ {
+		a, b := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		w := geom.Dist(g.Node(a).Pos, g.Node(b).Pos)
+		if w == 0 {
+			w = 0.01
+		}
+		g.AddEdge(a, b, w*(1+rng.Float64()))
+	}
+	return g
+}
+
+func TestTravelDistTriangleProperty(t *testing.T) {
+	// d_G is a quasi-metric over locations: d(p,q) ≤ d(p,m) + d(m,q).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(rng, 4+rng.Intn(6))
+		m := g.AllPairs()
+		nd := m.Dist
+		p := RandomLocation(rng, g)
+		q := RandomLocation(rng, g)
+		mid := RandomLocation(rng, g)
+		return TravelDist(g, nd, p, q) <= TravelDist(g, nd, p, mid)+TravelDist(g, nd, mid, q)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTravelDistSelfZeroProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(rng, 3+rng.Intn(5))
+		m := g.AllPairs()
+		p := RandomLocation(rng, g)
+		return TravelDist(g, m.Dist, p, p) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTravelDistNonNegativeFinite(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(rng, 3+rng.Intn(6))
+		m := g.AllPairs()
+		for trial := 0; trial < 20; trial++ {
+			p := RandomLocation(rng, g)
+			q := RandomLocation(rng, g)
+			d := TravelDist(g, m.Dist, p, q)
+			if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSPTDistancesDominatedByEdges(t *testing.T) {
+	// For every edge (u,v): dist[v] ≤ dist[u] + w (Bellman condition).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(rng, 4+rng.Intn(8))
+		src := NodeID(rng.Intn(g.NumNodes()))
+		spt := g.ShortestPathTree(src)
+		for e := 0; e < g.NumEdges(); e++ {
+			ed := g.Edge(EdgeID(e))
+			if spt.Dist[ed.To] > spt.Dist[ed.From]+ed.Weight+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNearestLocationIsNearestProperty(t *testing.T) {
+	f := func(seed int64, px, py int16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(rng, 4+rng.Intn(5))
+		p := geom.Point{X: float64(px) / 1000, Y: float64(py) / 1000}
+		loc := g.NearestLocation(p)
+		if !loc.Valid(g) {
+			return false
+		}
+		best := geom.Dist(loc.Point(g), p)
+		// No sampled on-network point may be closer than the snap.
+		for e := 0; e < g.NumEdges(); e++ {
+			w := g.Edge(EdgeID(e)).Weight
+			for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+				cand := LocationFromStart(g, EdgeID(e), frac*w)
+				if geom.Dist(cand.Point(g), p) < best-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+// Package scsim simulates the paper's Section-2 spatial-crowdsourcing
+// framework end to end: available workers upload (obfuscated) locations
+// before each assignment snapshot, the server matches pending tasks to
+// workers by estimated travel cost, matched workers turn occupied, drive
+// to the task, complete it and become available again at the task's
+// location. The simulation measures what the obfuscation actually costs
+// the platform — assignment quality, travel overhead, task latency.
+package scsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/assign"
+	"repro/internal/core"
+	"repro/internal/discretize"
+	"repro/internal/roadnet"
+)
+
+// WorkerState is the paper's worker lifecycle.
+type WorkerState int
+
+// Worker states (Section 2): available workers participate in
+// assignment; occupied workers are en route to or serving a task.
+const (
+	Available WorkerState = iota
+	Occupied
+)
+
+// Worker is one vehicle worker.
+type Worker struct {
+	ID    int
+	Loc   roadnet.Location
+	State WorkerState
+	// doneAt is the simulation time the current task completes.
+	doneAt float64
+	// task is the index of the task being served, -1 when available.
+	task int
+}
+
+// Task is one spatial task.
+type Task struct {
+	ID       int
+	Loc      roadnet.Location
+	Arrived  float64
+	Assigned float64 // 0 until assignment
+	Done     float64 // 0 until completion
+	Worker   int     // -1 until assignment
+}
+
+// Config parameterises the simulation.
+type Config struct {
+	// Workers is the fleet size.
+	Workers int
+	// TaskRate is the Poisson arrival rate (tasks per second).
+	TaskRate float64
+	// SnapshotEvery is the seconds between assignment snapshots
+	// (workers upload locations once per snapshot, per the framework).
+	SnapshotEvery float64
+	// Duration is the simulated span in seconds.
+	Duration float64
+	// SpeedKmh is the travel speed of occupied workers.
+	SpeedKmh float64
+	// ServiceTime is the on-site seconds a task takes after arrival.
+	ServiceTime float64
+	// Mechanism obfuscates the workers' reports; nil reports the truth.
+	Mechanism *core.Mechanism
+}
+
+// Metrics summarises one run.
+type Metrics struct {
+	TasksArrived   int
+	TasksAssigned  int
+	TasksCompleted int
+	// MeanWait is the mean seconds from task arrival to assignment.
+	MeanWait float64
+	// MeanTravel is the mean true travel distance (km) of the assigned
+	// worker to the task.
+	MeanTravel float64
+	// AssignmentRegret is the mean extra true travel distance per
+	// snapshot versus the assignment the server would have chosen with
+	// exact locations — the platform-level price of obfuscation.
+	AssignmentRegret float64
+	snapshots        int
+}
+
+// Run executes the simulation.
+func Run(rng *rand.Rand, part *discretize.Partition, cfg Config) (*Metrics, error) {
+	if cfg.Workers <= 0 || cfg.Duration <= 0 || cfg.SnapshotEvery <= 0 {
+		return nil, fmt.Errorf("scsim: invalid config %+v", cfg)
+	}
+	if cfg.SpeedKmh <= 0 {
+		return nil, fmt.Errorf("scsim: non-positive speed")
+	}
+	if cfg.Mechanism != nil && cfg.Mechanism.Part != part {
+		return nil, fmt.Errorf("scsim: mechanism was solved on a different partition")
+	}
+	g := part.G
+	speed := cfg.SpeedKmh / 3600 // km/s
+
+	workers := make([]*Worker, cfg.Workers)
+	for i := range workers {
+		workers[i] = &Worker{ID: i, Loc: roadnet.RandomLocation(rng, g), task: -1}
+	}
+	var tasks []*Task
+	var pending []int // indices of unassigned tasks
+
+	m := &Metrics{}
+	var waitSum, travelSum float64
+
+	for now := 0.0; now < cfg.Duration; now += cfg.SnapshotEvery {
+		// Complete due tasks.
+		for _, w := range workers {
+			if w.State == Occupied && w.doneAt <= now {
+				t := tasks[w.task]
+				t.Done = w.doneAt
+				w.Loc = t.Loc
+				w.State = Available
+				w.task = -1
+				m.TasksCompleted++
+			}
+		}
+
+		// Poisson arrivals during the last interval.
+		arrivals := poisson(rng, cfg.TaskRate*cfg.SnapshotEvery)
+		for a := 0; a < arrivals; a++ {
+			t := &Task{
+				ID:      len(tasks),
+				Loc:     roadnet.RandomLocation(rng, g),
+				Arrived: now,
+				Worker:  -1,
+			}
+			tasks = append(tasks, t)
+			pending = append(pending, t.ID)
+			m.TasksArrived++
+		}
+
+		// Snapshot assignment: available workers report; server matches
+		// pending tasks (rows) to reported workers (columns).
+		var avail []*Worker
+		for _, w := range workers {
+			if w.State == Available {
+				avail = append(avail, w)
+			}
+		}
+		if len(avail) == 0 || len(pending) == 0 {
+			continue
+		}
+		nAssign := len(pending)
+		if nAssign > len(avail) {
+			nAssign = len(avail)
+		}
+		batch := pending[:nAssign]
+
+		reported := make([]roadnet.Location, len(avail))
+		for i, w := range avail {
+			if cfg.Mechanism != nil {
+				reported[i] = cfg.Mechanism.Sample(rng, w.Loc)
+			} else {
+				reported[i] = w.Loc
+			}
+		}
+		est := make([][]float64, nAssign)
+		truth := make([][]float64, nAssign)
+		for ti, taskID := range batch {
+			est[ti] = make([]float64, len(avail))
+			truth[ti] = make([]float64, len(avail))
+			for wi, w := range avail {
+				est[ti][wi] = part.TravelDistLoc(reported[wi], tasks[taskID].Loc)
+				truth[ti][wi] = part.TravelDistLoc(w.Loc, tasks[taskID].Loc)
+			}
+		}
+		match, _, err := assign.Hungarian(est)
+		if err != nil {
+			return nil, err
+		}
+		_, idealTotal, err := assign.Hungarian(truth)
+		if err != nil {
+			return nil, err
+		}
+
+		actualTotal := 0.0
+		for ti, wi := range match {
+			w := avail[wi]
+			t := tasks[batch[ti]]
+			d := truth[ti][wi]
+			actualTotal += d
+			t.Assigned = now
+			t.Worker = w.ID
+			w.State = Occupied
+			w.task = t.ID
+			w.doneAt = now + d/speed + cfg.ServiceTime
+			waitSum += now - t.Arrived
+			travelSum += d
+			m.TasksAssigned++
+		}
+		m.AssignmentRegret += actualTotal - idealTotal
+		m.snapshots++
+		pending = pending[nAssign:]
+	}
+
+	if m.TasksAssigned > 0 {
+		m.MeanWait = waitSum / float64(m.TasksAssigned)
+		m.MeanTravel = travelSum / float64(m.TasksAssigned)
+	}
+	if m.snapshots > 0 {
+		m.AssignmentRegret /= float64(m.snapshots)
+	}
+	return m, nil
+}
+
+// poisson draws from Poisson(lambda) by inversion (small lambda).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 {
+			return k // lambda absurdly large; avoid spinning
+		}
+	}
+}

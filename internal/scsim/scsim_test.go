@@ -1,0 +1,142 @@
+package scsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/discretize"
+	"repro/internal/roadnet"
+)
+
+func simSetup(t *testing.T) (*discretize.Partition, *core.Mechanism) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	g := roadnet.Grid(rng, roadnet.GridConfig{
+		Rows: 3, Cols: 3, Spacing: 0.3, OneWayFrac: 0.4, WeightJitter: 0.15,
+	})
+	part, err := discretize.New(g, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := core.NewProblem(part, core.Config{Epsilon: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.SolveCG(pr, core.CGOptions{Xi: -0.1, RelGap: 0.1, MaxIterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return part, sol.Mechanism
+}
+
+func baseConfig() Config {
+	return Config{
+		Workers:       8,
+		TaskRate:      1.0 / 60,
+		SnapshotEvery: 30,
+		Duration:      3600,
+		SpeedKmh:      30,
+		ServiceTime:   60,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	part, _ := simSetup(t)
+	rng := rand.New(rand.NewSource(2))
+	if _, err := Run(rng, part, Config{}); err == nil {
+		t.Fatal("accepted zero config")
+	}
+	cfg := baseConfig()
+	cfg.SpeedKmh = 0
+	if _, err := Run(rng, part, cfg); err == nil {
+		t.Fatal("accepted zero speed")
+	}
+}
+
+func TestRunConservation(t *testing.T) {
+	part, mech := simSetup(t)
+	rng := rand.New(rand.NewSource(3))
+	cfg := baseConfig()
+	cfg.Mechanism = mech
+	m, err := Run(rng, part, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TasksArrived == 0 {
+		t.Fatal("no tasks arrived in an hour")
+	}
+	if m.TasksAssigned > m.TasksArrived {
+		t.Fatalf("assigned %d > arrived %d", m.TasksAssigned, m.TasksArrived)
+	}
+	if m.TasksCompleted > m.TasksAssigned {
+		t.Fatalf("completed %d > assigned %d", m.TasksCompleted, m.TasksAssigned)
+	}
+	if m.TasksAssigned > 0 && (m.MeanWait < 0 || m.MeanTravel <= 0) {
+		t.Fatalf("implausible metrics: %+v", m)
+	}
+	if m.AssignmentRegret < -1e-9 {
+		t.Fatalf("negative regret %v: obfuscated assignment cannot beat exact", m.AssignmentRegret)
+	}
+}
+
+func TestObfuscationCostsThePlatform(t *testing.T) {
+	part, mech := simSetup(t)
+	cfg := baseConfig()
+	cfg.Duration = 2 * 3600
+
+	run := func(m *core.Mechanism, seed int64) *Metrics {
+		rng := rand.New(rand.NewSource(seed))
+		c := cfg
+		c.Mechanism = m
+		out, err := Run(rng, part, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	// Average over a few seeds to stabilise the comparison.
+	var exact, obf float64
+	for seed := int64(10); seed < 16; seed++ {
+		exact += run(nil, seed).AssignmentRegret
+		obf += run(mech, seed).AssignmentRegret
+	}
+	if exact > 1e-9 {
+		t.Fatalf("exact reporting has nonzero regret %v", exact)
+	}
+	if obf <= 0 {
+		t.Fatalf("obfuscation shows no assignment regret (%v); suspicious", obf)
+	}
+}
+
+func TestMechanismPartitionMismatchRejected(t *testing.T) {
+	part, mech := simSetup(t)
+	rng := rand.New(rand.NewSource(5))
+	other, err := discretize.New(part.G, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig()
+	cfg.Mechanism = mech
+	if _, err := Run(rng, other, cfg); err == nil {
+		t.Fatal("accepted mechanism from a different partition")
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const lambda = 3.0
+	n := 20000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += poisson(rng, lambda)
+	}
+	mean := float64(sum) / float64(n)
+	if math.Abs(mean-lambda) > 0.1 {
+		t.Fatalf("poisson mean %v, want ≈ %v", mean, lambda)
+	}
+	if poisson(rng, 0) != 0 {
+		t.Fatal("poisson(0) must be 0")
+	}
+}

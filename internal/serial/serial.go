@@ -1,0 +1,130 @@
+// Package serial provides the JSON wire formats of the command-line
+// tools: road networks, priors and solved obfuscation mechanisms.
+package serial
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/discretize"
+	"repro/internal/geom"
+	"repro/internal/roadnet"
+)
+
+// Node is a road connection.
+type Node struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Edge is a directed road segment.
+type Edge struct {
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	Weight float64 `json:"weight"`
+}
+
+// Network is a serialised road network.
+type Network struct {
+	Nodes []Node `json:"nodes"`
+	Edges []Edge `json:"edges"`
+}
+
+// FromGraph converts a graph to its wire format.
+func FromGraph(g *roadnet.Graph) *Network {
+	n := &Network{
+		Nodes: make([]Node, g.NumNodes()),
+		Edges: make([]Edge, g.NumEdges()),
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		p := g.Node(roadnet.NodeID(i)).Pos
+		n.Nodes[i] = Node{X: p.X, Y: p.Y}
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(roadnet.EdgeID(i))
+		n.Edges[i] = Edge{From: int(e.From), To: int(e.To), Weight: e.Weight}
+	}
+	return n
+}
+
+// ToGraph reconstructs the graph and validates it.
+func (n *Network) ToGraph() (*roadnet.Graph, error) {
+	g := roadnet.NewGraph()
+	for _, nd := range n.Nodes {
+		g.AddNode(geom.Point{X: nd.X, Y: nd.Y})
+	}
+	for i, e := range n.Edges {
+		if e.From < 0 || e.From >= len(n.Nodes) || e.To < 0 || e.To >= len(n.Nodes) {
+			return nil, fmt.Errorf("serial: edge %d references missing node", i)
+		}
+		g.AddEdge(roadnet.NodeID(e.From), roadnet.NodeID(e.To), e.Weight)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Mechanism is a serialised obfuscation mechanism together with the
+// network and discretisation it was solved on.
+type Mechanism struct {
+	Network *Network  `json:"network"`
+	Delta   float64   `json:"delta"`
+	Epsilon float64   `json:"epsilon"`
+	Radius  float64   `json:"radius"`
+	K       int       `json:"k"`
+	Z       []float64 `json:"z"` // K×K row-major
+	ETDD    float64   `json:"etdd"`
+	Bound   float64   `json:"lower_bound"`
+}
+
+// FromMechanism packages a solved mechanism.
+func FromMechanism(m *core.Mechanism, delta, eps, radius, etdd, bound float64) *Mechanism {
+	return &Mechanism{
+		Network: FromGraph(m.Part.G),
+		Delta:   delta,
+		Epsilon: eps,
+		Radius:  radius,
+		K:       m.K(),
+		Z:       m.Z,
+		ETDD:    etdd,
+		Bound:   bound,
+	}
+}
+
+// ToMechanism reconstructs the mechanism (re-deriving the partition).
+func (s *Mechanism) ToMechanism() (*core.Mechanism, error) {
+	g, err := s.Network.ToGraph()
+	if err != nil {
+		return nil, err
+	}
+	part, err := discretize.New(g, s.Delta)
+	if err != nil {
+		return nil, err
+	}
+	if part.K() != s.K {
+		return nil, fmt.Errorf("serial: partition has %d intervals, mechanism was solved with %d", part.K(), s.K)
+	}
+	if len(s.Z) != s.K*s.K {
+		return nil, fmt.Errorf("serial: Z has %d entries, want %d", len(s.Z), s.K*s.K)
+	}
+	m := &core.Mechanism{Part: part, Z: s.Z}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// WriteJSON writes v as indented JSON.
+func WriteJSON(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(v)
+}
+
+// ReadJSON decodes JSON into v.
+func ReadJSON(r io.Reader, v interface{}) error {
+	return json.NewDecoder(r).Decode(v)
+}

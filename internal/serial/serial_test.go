@@ -1,0 +1,94 @@
+package serial
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/discretize"
+	"repro/internal/roadnet"
+)
+
+func TestGraphRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := roadnet.Grid(rng, roadnet.GridConfig{Rows: 3, Cols: 3, Spacing: 0.3, OneWayFrac: 0.5, WeightJitter: 0.2})
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, FromGraph(g)); err != nil {
+		t.Fatal(err)
+	}
+	var n Network
+	if err := ReadJSON(&buf, &n); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := n.ToGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed sizes: %d/%d vs %d/%d",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		a, b := g.Edge(roadnet.EdgeID(i)), g2.Edge(roadnet.EdgeID(i))
+		if a.From != b.From || a.To != b.To || math.Abs(a.Weight-b.Weight) > 1e-12 {
+			t.Fatalf("edge %d changed: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestToGraphRejectsBadEdges(t *testing.T) {
+	n := &Network{
+		Nodes: []Node{{0, 0}, {1, 0}},
+		Edges: []Edge{{From: 0, To: 5, Weight: 1}},
+	}
+	if _, err := n.ToGraph(); err == nil {
+		t.Fatal("accepted edge to missing node")
+	}
+}
+
+func TestMechanismRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := roadnet.Grid(rng, roadnet.GridConfig{Rows: 2, Cols: 2, Spacing: 0.3, OneWayFrac: 0.5})
+	part, err := discretize.New(g, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := core.NewProblem(part, core.Config{Epsilon: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mech := pr.ExponentialMechanism()
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, FromMechanism(mech, 0.3, 4, 0, 0.1, 0.05)); err != nil {
+		t.Fatal(err)
+	}
+	var s Mechanism
+	if err := ReadJSON(&buf, &s); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := s.ToMechanism()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.K() != mech.K() {
+		t.Fatalf("K changed: %d vs %d", m2.K(), mech.K())
+	}
+	for i := range mech.Z {
+		if math.Abs(m2.Z[i]-mech.Z[i]) > 1e-12 {
+			t.Fatalf("Z[%d] changed", i)
+		}
+	}
+}
+
+func TestMechanismRejectsWrongShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := roadnet.Grid(rng, roadnet.GridConfig{Rows: 2, Cols: 2, Spacing: 0.3})
+	s := &Mechanism{Network: FromGraph(g), Delta: 0.3, K: 3, Z: []float64{1}}
+	if _, err := s.ToMechanism(); err == nil {
+		t.Fatal("accepted wrong-shaped mechanism")
+	}
+}

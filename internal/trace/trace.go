@@ -1,0 +1,249 @@
+// Package trace replaces the paper's Rome taxi CRAWDAD dataset with a
+// synthetic floating-vehicle simulator: vehicles perform biased random
+// walks over a road network (denser near the map centre, matching the
+// paper's downtown-heavy heat map), log timestamped positions at a fixed
+// cadence (the CRAWDAD trace reports every ≈7 s), and the resulting
+// records feed exactly the same estimators the paper uses — per-vehicle
+// prior distributions f_P, the task prior f_Q, and the HMM transition
+// counts of the spatial-correlation attack.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/discretize"
+	"repro/internal/geom"
+	"repro/internal/roadnet"
+)
+
+// Record is one timestamped position report of one vehicle.
+type Record struct {
+	Time float64 // seconds since simulation start
+	Loc  roadnet.Location
+}
+
+// VehicleTrace is the full record sequence of one simulated vehicle.
+type VehicleTrace struct {
+	ID      int
+	Records []Record
+	// PathDistance is the total distance actually driven, in km.
+	PathDistance float64
+}
+
+// Duration returns the trace's covered time span in seconds.
+func (v *VehicleTrace) Duration() float64 {
+	if len(v.Records) < 2 {
+		return 0
+	}
+	return v.Records[len(v.Records)-1].Time - v.Records[0].Time
+}
+
+// SimConfig parameterises the mobility simulation.
+type SimConfig struct {
+	// Vehicles is the fleet size (the CRAWDAD trace has ≈290 cabs).
+	Vehicles int
+	// Duration is the simulated span per vehicle in seconds.
+	Duration float64
+	// RecordEvery is the seconds between position records (≈7 in the
+	// CRAWDAD trace).
+	RecordEvery float64
+	// SpeedKmh is the mean driving speed; per-vehicle speeds jitter ±30%.
+	SpeedKmh float64
+	// CenterBias ≥ 0 skews turn choices toward the map centre: at each
+	// connection the next edge is drawn with weight e^{−bias·d(mid, centre)}.
+	// 0 gives an unbiased random walk.
+	CenterBias float64
+	// DropoutProb is the per-record chance a report is lost, giving
+	// vehicles different record counts like the real dataset.
+	DropoutProb float64
+}
+
+// DefaultSim mirrors the paper's dataset at laptop scale.
+func DefaultSim() SimConfig {
+	return SimConfig{
+		Vehicles:    290,
+		Duration:    3 * 3600,
+		RecordEvery: 7,
+		SpeedKmh:    30,
+		CenterBias:  1.2,
+		DropoutProb: 0.25,
+	}
+}
+
+// Simulate runs the fleet simulation over the graph.
+func Simulate(rng *rand.Rand, g *roadnet.Graph, cfg SimConfig) ([]*VehicleTrace, error) {
+	if cfg.Vehicles <= 0 || cfg.Duration <= 0 || cfg.RecordEvery <= 0 || cfg.SpeedKmh <= 0 {
+		return nil, fmt.Errorf("trace: invalid simulation config %+v", cfg)
+	}
+	centre := mapCentre(g)
+	out := make([]*VehicleTrace, 0, cfg.Vehicles)
+	for v := 0; v < cfg.Vehicles; v++ {
+		speed := cfg.SpeedKmh * (0.7 + 0.6*rng.Float64()) / 3600 // km/s
+		out = append(out, simulateOne(rng, g, cfg, v, speed, centre))
+	}
+	return out, nil
+}
+
+func mapCentre(g *roadnet.Graph) geom.Point {
+	pts := make([]geom.Point, g.NumNodes())
+	for i := range pts {
+		pts[i] = g.Node(roadnet.NodeID(i)).Pos
+	}
+	b := geom.BoundsOf(pts)
+	return geom.Midpoint(b.Min, b.Max)
+}
+
+func simulateOne(rng *rand.Rand, g *roadnet.Graph, cfg SimConfig, id int, speed float64, centre geom.Point) *VehicleTrace {
+	tr := &VehicleTrace{ID: id}
+
+	// Start position biased toward the centre: rejection-sample random
+	// locations, accepting with probability e^{−bias·d}.
+	loc := roadnet.RandomLocation(rng, g)
+	for try := 0; try < 32; try++ {
+		cand := roadnet.RandomLocation(rng, g)
+		d := geom.Dist(cand.Point(g), centre)
+		if rng.Float64() < math.Exp(-cfg.CenterBias*d) {
+			loc = cand
+			break
+		}
+	}
+
+	nextRecord := 0.0
+	now := 0.0
+	for now < cfg.Duration {
+		// Emit records due before the next movement step.
+		for nextRecord <= now && nextRecord < cfg.Duration {
+			if rng.Float64() >= cfg.DropoutProb {
+				tr.Records = append(tr.Records, Record{Time: nextRecord, Loc: loc})
+			}
+			nextRecord += cfg.RecordEvery
+		}
+
+		// Drive to the end of the current edge or until the next record,
+		// whichever is sooner.
+		remaining := loc.ToEnd
+		stepTime := remaining / speed
+		if now+stepTime >= nextRecord {
+			drive := (nextRecord - now) * speed
+			loc = roadnet.Location{Edge: loc.Edge, ToEnd: loc.ToEnd - drive}
+			tr.PathDistance += drive
+			now = nextRecord
+			continue
+		}
+		tr.PathDistance += remaining
+		now += stepTime
+
+		// Turn at the connection, biased toward the centre.
+		head := g.Edge(loc.Edge).To
+		next := chooseEdge(rng, g, head, cfg.CenterBias, centre)
+		loc = roadnet.Location{Edge: next, ToEnd: g.Edge(next).Weight}
+	}
+	return tr
+}
+
+func chooseEdge(rng *rand.Rand, g *roadnet.Graph, at roadnet.NodeID, bias float64, centre geom.Point) roadnet.EdgeID {
+	outs := g.OutEdges(at)
+	if len(outs) == 0 {
+		panic("trace: dead-end connection in a strongly connected graph")
+	}
+	if len(outs) == 1 || bias <= 0 {
+		return outs[rng.Intn(len(outs))]
+	}
+	weights := make([]float64, len(outs))
+	total := 0.0
+	for i, eid := range outs {
+		e := g.Edge(eid)
+		mid := geom.Midpoint(g.Node(e.From).Pos, g.Node(e.To).Pos)
+		weights[i] = math.Exp(-bias * geom.Dist(mid, centre))
+		total += weights[i]
+	}
+	u := rng.Float64() * total
+	for i, w := range weights {
+		u -= w
+		if u <= 0 {
+			return outs[i]
+		}
+	}
+	return outs[len(outs)-1]
+}
+
+// PriorFromTraces estimates a prior distribution over intervals from
+// record counts with additive smoothing alpha (in pseudo-counts per
+// interval). This is the paper's per-cab f_P estimator.
+func PriorFromTraces(part *discretize.Partition, traces []*VehicleTrace, alpha float64) []float64 {
+	k := part.K()
+	if alpha < 0 {
+		alpha = 0
+	}
+	counts := make([]float64, k)
+	total := alpha * float64(k)
+	for i := range counts {
+		counts[i] = alpha
+	}
+	for _, tr := range traces {
+		for _, r := range tr.Records {
+			counts[part.Locate(r.Loc)]++
+			total++
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	for i := range counts {
+		counts[i] /= total
+	}
+	return counts
+}
+
+// IntervalSequence converts a trace into the interval-index sequence of
+// every stride-th record (the paper's footnote 4: taking one sample of
+// every n builds a trajectory with report interval 7n seconds).
+func IntervalSequence(part *discretize.Partition, tr *VehicleTrace, stride int) []int {
+	if stride < 1 {
+		stride = 1
+	}
+	seq := make([]int, 0, len(tr.Records)/stride+1)
+	for i := 0; i < len(tr.Records); i += stride {
+		seq = append(seq, part.Locate(tr.Records[i].Loc))
+	}
+	return seq
+}
+
+// TopByRecords returns the n traces with the most records, mirroring the
+// paper's "select the 120 cabs with the highest number of records".
+func TopByRecords(traces []*VehicleTrace, n int) []*VehicleTrace {
+	sorted := append([]*VehicleTrace(nil), traces...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && len(sorted[j].Records) > len(sorted[j-1].Records); j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}
+
+// DatasetStats summarises a fleet for the paper's Fig. 9 histograms.
+type DatasetStats struct {
+	RecordCounts  []float64 // per vehicle
+	TravelTimes   []float64 // seconds per vehicle
+	PathDistances []float64 // km per vehicle
+}
+
+// Stats collects the Fig. 9 summary of a fleet.
+func Stats(traces []*VehicleTrace) DatasetStats {
+	s := DatasetStats{
+		RecordCounts:  make([]float64, 0, len(traces)),
+		TravelTimes:   make([]float64, 0, len(traces)),
+		PathDistances: make([]float64, 0, len(traces)),
+	}
+	for _, tr := range traces {
+		s.RecordCounts = append(s.RecordCounts, float64(len(tr.Records)))
+		s.TravelTimes = append(s.TravelTimes, tr.Duration())
+		s.PathDistances = append(s.PathDistances, tr.PathDistance)
+	}
+	return s
+}

@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/discretize"
+	"repro/internal/geom"
+	"repro/internal/roadnet"
+)
+
+func testGraph(t *testing.T, seed int64) *roadnet.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	return roadnet.RomeLike(rng, roadnet.DefaultRomeLike())
+}
+
+func smallSim() SimConfig {
+	return SimConfig{
+		Vehicles:    20,
+		Duration:    900,
+		RecordEvery: 7,
+		SpeedKmh:    30,
+		CenterBias:  1.2,
+		DropoutProb: 0.2,
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	g := testGraph(t, 1)
+	rng := rand.New(rand.NewSource(2))
+	if _, err := Simulate(rng, g, SimConfig{}); err == nil {
+		t.Fatal("accepted zero config")
+	}
+}
+
+func TestSimulateProducesSaneTraces(t *testing.T) {
+	g := testGraph(t, 3)
+	rng := rand.New(rand.NewSource(4))
+	cfg := smallSim()
+	traces, err := Simulate(rng, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != cfg.Vehicles {
+		t.Fatalf("%d traces, want %d", len(traces), cfg.Vehicles)
+	}
+	for _, tr := range traces {
+		if len(tr.Records) == 0 {
+			t.Fatalf("vehicle %d has no records", tr.ID)
+		}
+		maxRecords := int(cfg.Duration/cfg.RecordEvery) + 1
+		if len(tr.Records) > maxRecords {
+			t.Fatalf("vehicle %d has %d records, cap %d", tr.ID, len(tr.Records), maxRecords)
+		}
+		prev := -1.0
+		for _, r := range tr.Records {
+			if r.Time <= prev {
+				t.Fatalf("vehicle %d records out of order", tr.ID)
+			}
+			prev = r.Time
+			if !r.Loc.Valid(g) {
+				t.Fatalf("vehicle %d has invalid location %v", tr.ID, r.Loc)
+			}
+		}
+		if tr.PathDistance <= 0 {
+			t.Fatalf("vehicle %d drove %v km", tr.ID, tr.PathDistance)
+		}
+		// Sanity: driven distance cannot exceed max speed × duration.
+		if tr.PathDistance > cfg.SpeedKmh*1.3/3600*cfg.Duration*1.01 {
+			t.Fatalf("vehicle %d drove impossibly far: %v km", tr.ID, tr.PathDistance)
+		}
+	}
+}
+
+func TestDropoutVariesRecordCounts(t *testing.T) {
+	g := testGraph(t, 5)
+	rng := rand.New(rand.NewSource(6))
+	cfg := smallSim()
+	traces, err := Simulate(rng, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := len(traces[0].Records)
+	same := true
+	for _, tr := range traces[1:] {
+		if len(tr.Records) != first {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("dropout produced identical record counts across the fleet")
+	}
+}
+
+func TestCenterBiasConcentratesRecords(t *testing.T) {
+	g := testGraph(t, 7)
+	cfg := smallSim()
+	cfg.Vehicles = 40
+
+	centreMass := func(bias float64, seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		c := cfg
+		c.CenterBias = bias
+		traces, err := Simulate(rng, g, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		centre := mapCentre(g)
+		in, total := 0, 0
+		for _, tr := range traces {
+			for _, r := range tr.Records {
+				total++
+				if geom.Dist(r.Loc.Point(g), centre) < 0.6 {
+					in++
+				}
+			}
+		}
+		return float64(in) / float64(total)
+	}
+	biased := centreMass(2.5, 8)
+	unbiased := centreMass(0, 9)
+	if biased <= unbiased {
+		t.Fatalf("centre bias did not concentrate records: %.3f vs %.3f", biased, unbiased)
+	}
+}
+
+func TestPriorFromTraces(t *testing.T) {
+	g := testGraph(t, 10)
+	part, err := discretize.New(g, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	traces, err := Simulate(rng, g, smallSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := PriorFromTraces(part, traces, 0.5)
+	sum := 0.0
+	for _, p := range prior {
+		if p <= 0 {
+			t.Fatal("smoothed prior must be strictly positive everywhere")
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("prior sums to %v", sum)
+	}
+}
+
+func TestIntervalSequenceStride(t *testing.T) {
+	g := testGraph(t, 12)
+	part, err := discretize.New(g, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	cfg := smallSim()
+	cfg.DropoutProb = 0
+	traces, err := Simulate(rng, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := traces[0]
+	full := IntervalSequence(part, tr, 1)
+	if len(full) != len(tr.Records) {
+		t.Fatalf("stride-1 sequence has %d entries, want %d", len(full), len(tr.Records))
+	}
+	half := IntervalSequence(part, tr, 2)
+	if len(half) != (len(tr.Records)+1)/2 {
+		t.Fatalf("stride-2 sequence has %d entries, want %d", len(half), (len(tr.Records)+1)/2)
+	}
+	for i, v := range half {
+		if v != full[2*i] {
+			t.Fatalf("stride-2 sequence diverges at %d", i)
+		}
+	}
+}
+
+func TestConsecutiveIntervalsAreNear(t *testing.T) {
+	// At 7-second reporting and ≤ 39 km/h, consecutive records are at
+	// most ≈ 76 m apart along the road — strong spatial correlation, the
+	// premise of the HMM attack.
+	g := testGraph(t, 14)
+	part, err := discretize.New(g, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(15))
+	cfg := smallSim()
+	cfg.DropoutProb = 0
+	traces, err := Simulate(rng, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxStep := cfg.SpeedKmh * 1.3 / 3600 * cfg.RecordEvery
+	for _, tr := range traces[:5] {
+		seq := IntervalSequence(part, tr, 1)
+		for i := 0; i+1 < len(seq); i++ {
+			d := part.MidDistMin(seq[i], seq[i+1])
+			if d > maxStep+2*0.1+1e-9 { // slack: two interval half-lengths
+				t.Fatalf("consecutive intervals %v km apart, cap %v", d, maxStep)
+			}
+		}
+	}
+}
+
+func TestTopByRecords(t *testing.T) {
+	traces := []*VehicleTrace{
+		{ID: 0, Records: make([]Record, 3)},
+		{ID: 1, Records: make([]Record, 9)},
+		{ID: 2, Records: make([]Record, 6)},
+	}
+	top := TopByRecords(traces, 2)
+	if len(top) != 2 || top[0].ID != 1 || top[1].ID != 2 {
+		t.Fatalf("TopByRecords wrong: %v, %v", top[0].ID, top[1].ID)
+	}
+	if got := TopByRecords(traces, 10); len(got) != 3 {
+		t.Fatalf("overlong n returned %d", len(got))
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := testGraph(t, 16)
+	rng := rand.New(rand.NewSource(17))
+	traces, err := Simulate(rng, g, smallSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Stats(traces)
+	if len(s.RecordCounts) != len(traces) || len(s.TravelTimes) != len(traces) || len(s.PathDistances) != len(traces) {
+		t.Fatal("stats length mismatch")
+	}
+	for i := range traces {
+		if s.PathDistances[i] <= 0 || s.RecordCounts[i] <= 0 {
+			t.Fatalf("non-positive stats for vehicle %d", i)
+		}
+	}
+}
