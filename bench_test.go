@@ -6,7 +6,11 @@ package vlp
 // hot substrates.
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -19,6 +23,8 @@ import (
 	"repro/internal/planar"
 	"repro/internal/realworld"
 	"repro/internal/roadnet"
+	"repro/internal/serial"
+	"repro/internal/server"
 	"repro/internal/trace"
 )
 
@@ -541,5 +547,73 @@ func BenchmarkMechanismSample(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.mech.Sample(rng, loc)
+	}
+}
+
+// --- Obfuscation service benches -----------------------------------------
+
+func benchServeSpec(e *benchEnv) *serial.SolveSpec {
+	return &serial.SolveSpec{
+		Network: serial.FromGraph(e.g),
+		Delta:   0.15,
+		Epsilon: 5,
+		Prior:   e.prior,
+	}
+}
+
+func benchServePost(b *testing.B, h http.Handler, path string, payload []byte) {
+	b.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(payload))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("%s returned %d: %s", path, w.Code, w.Body.String())
+	}
+}
+
+// BenchmarkServeColdSolve measures the cold path: a fresh vlpserved
+// instance receiving a spec it has never seen, forcing a full CG solve.
+func BenchmarkServeColdSolve(b *testing.B) {
+	e := benchSetup(b)
+	payload, err := json.Marshal(benchServeSpec(e))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv := server.New(server.Config{CacheSize: 1, MaxSolves: 1})
+		benchServePost(b, srv.Handler(), "/solve", payload)
+	}
+}
+
+// BenchmarkServeObfuscateCached measures the hot path: batched
+// obfuscation against an already-cached mechanism. The acceptance bar
+// for the service split is this path running ≥100× faster than the
+// cold solve above.
+func BenchmarkServeObfuscateCached(b *testing.B) {
+	e := benchSetup(b)
+	spec := benchServeSpec(e)
+	srv := server.New(server.Config{CacheSize: 4, MaxSolves: 2, Seed: 7})
+	h := srv.Handler()
+	warm, err := json.Marshal(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchServePost(b, h, "/solve", warm)
+
+	rng := rand.New(rand.NewSource(45))
+	req := serial.ObfuscateRequest{SolveSpec: *spec}
+	for j := 0; j < 16; j++ {
+		road := rng.Intn(e.g.NumEdges())
+		w := e.g.Edge(roadnet.EdgeID(road)).Weight
+		req.Locations = append(req.Locations, serial.Loc{Road: road, FromStart: rng.Float64() * w})
+	}
+	payload, err := json.Marshal(&req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchServePost(b, h, "/obfuscate", payload)
 	}
 }

@@ -1,0 +1,85 @@
+// Command vlpserved is the long-lived obfuscation service: it accepts
+// serialized road networks + solve parameters over HTTP, solves each
+// distinct spec once (deduplicating concurrent requests) and serves
+// obfuscation from a bounded LRU of cached mechanisms.
+//
+// Usage:
+//
+//	vlpserved [-addr :8750] [-cache 16] [-solves 2] [-solve-wait 2m]
+//	          [-seed 1] [-xi -0.05] [-relgap 0.02]
+//
+// Endpoints (JSON bodies; see internal/serial for the wire structs):
+//
+//	POST /solve      {"network": {...}, "delta": D, "epsilon": E, ...}
+//	POST /obfuscate  same spec + "locations": [{"road": R, "from_start": X}, ...]
+//	GET  /stats      cache hits/misses, solve latencies, per-mechanism ETDD
+//	GET  /healthz    liveness
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8750", "listen address")
+	cache := flag.Int("cache", 16, "mechanism LRU capacity")
+	solves := flag.Int("solves", 2, "max concurrent cold solves (excess gets 429)")
+	solveWait := flag.Duration("solve-wait", 2*time.Minute, "max time a request waits for a cold solve")
+	seed := flag.Int64("seed", 1, "base sampler seed")
+	xi := flag.Float64("xi", -0.05, "column-generation termination threshold ξ (≤ 0)")
+	relgap := flag.Float64("relgap", 0.02, "column-generation relative dual-gap stop")
+	drain := flag.Duration("drain", 5*time.Minute, "shutdown drain budget for in-flight solves")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		CacheSize: *cache,
+		MaxSolves: *solves,
+		SolveWait: *solveWait,
+		Seed:      *seed,
+		CG:        core.CGOptions{Xi: *xi, RelGap: *relgap},
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "vlpserved: listening on %s (cache %d, max solves %d)\n", *addr, *cache, *solves)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatalf("listen: %v", err)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "vlpserved: %v, draining\n", sig)
+	}
+
+	// Stop accepting requests first, then drain in-flight solves so
+	// nothing is killed mid-computation.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "vlpserved: http shutdown: %v\n", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "vlpserved: solve drain: %v\n", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "vlpserved: "+format+"\n", args...)
+	os.Exit(1)
+}

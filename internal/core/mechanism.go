@@ -49,6 +49,11 @@ func (m *Mechanism) RowStochasticError() float64 {
 		sum := 0.0
 		for l := 0; l < k; l++ {
 			v := m.Z[i*k+l]
+			// NaN compares false against every threshold and would slip
+			// through both checks below; treat it as maximally malformed.
+			if math.IsNaN(v) {
+				return math.Inf(1)
+			}
 			if -v > worst {
 				worst = -v
 			}

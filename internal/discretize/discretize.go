@@ -69,15 +69,32 @@ type Partition struct {
 
 // New partitions the graph with target interval length delta (km). The
 // graph must be strongly connected so all travel distances are finite.
+// maxIntervals bounds the partition size New will build. The solver's
+// K×K matrices make anything near this size unusable anyway, and the
+// bound keeps adversarial inputs (a tiny delta against a long edge, as
+// exercised by the serial-package fuzzers) from attempting an unbounded
+// allocation.
+const maxIntervals = 1 << 20
+
 func New(g *roadnet.Graph, delta float64) (*Partition, error) {
-	if delta <= 0 {
-		return nil, fmt.Errorf("discretize: non-positive delta %v", delta)
+	// !(delta > 0) rather than delta <= 0: NaN fails every comparison and
+	// must be rejected too.
+	if !(delta > 0) || math.IsInf(delta, 0) {
+		return nil, fmt.Errorf("discretize: invalid delta %v", delta)
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	if !g.StronglyConnected() {
 		return nil, fmt.Errorf("discretize: graph is not strongly connected")
+	}
+	total := 0
+	for ei := 0; ei < g.NumEdges(); ei++ {
+		n := intervalCount(g.Edge(roadnet.EdgeID(ei)).Weight, delta)
+		if n > maxIntervals-total {
+			return nil, fmt.Errorf("discretize: delta %v yields more than %d intervals", delta, maxIntervals)
+		}
+		total += n
 	}
 	p := &Partition{
 		G:         g,
@@ -88,10 +105,7 @@ func New(g *roadnet.Graph, delta float64) (*Partition, error) {
 	}
 	for ei := 0; ei < g.NumEdges(); ei++ {
 		e := g.Edge(roadnet.EdgeID(ei))
-		n := int(math.Round(e.Weight / delta))
-		if n < 1 {
-			n = 1
-		}
+		n := intervalCount(e.Weight, delta)
 		size := e.Weight / float64(n)
 		p.edgeFirst[ei] = len(p.Intervals)
 		p.edgeCount[ei] = n
@@ -110,6 +124,19 @@ func New(g *roadnet.Graph, delta float64) (*Partition, error) {
 	p.k = len(p.Intervals)
 	p.computeDistances()
 	return p, nil
+}
+
+// intervalCount returns round(w/delta) clamped to [1, maxIntervals+1);
+// the clamp keeps int conversion defined for overflowing ratios.
+func intervalCount(w, delta float64) int {
+	r := math.Round(w / delta)
+	if !(r > 1) {
+		return 1
+	}
+	if r > maxIntervals {
+		return maxIntervals + 1
+	}
+	return int(r)
 }
 
 // K returns the number of intervals |U|.

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/discretize"
@@ -59,6 +60,14 @@ func (n *Network) ToGraph() (*roadnet.Graph, error) {
 		if e.From < 0 || e.From >= len(n.Nodes) || e.To < 0 || e.To >= len(n.Nodes) {
 			return nil, fmt.Errorf("serial: edge %d references missing node", i)
 		}
+		if math.IsNaN(e.Weight) || math.IsInf(e.Weight, 0) {
+			return nil, fmt.Errorf("serial: edge %d has non-finite weight %v", i, e.Weight)
+		}
+		// AddEdge panics on a zero-length edge with no explicit weight;
+		// wire input must get an error instead.
+		if e.Weight <= 0 && n.Nodes[e.From] == n.Nodes[e.To] {
+			return nil, fmt.Errorf("serial: edge %d is zero-length with no explicit weight", i)
+		}
 		g.AddEdge(roadnet.NodeID(e.From), roadnet.NodeID(e.To), e.Weight)
 	}
 	if err := g.Validate(); err != nil {
@@ -96,6 +105,18 @@ func FromMechanism(m *core.Mechanism, delta, eps, radius, etdd, bound float64) *
 
 // ToMechanism reconstructs the mechanism (re-deriving the partition).
 func (s *Mechanism) ToMechanism() (*core.Mechanism, error) {
+	// Shape checks come first: they are cheap, and rejecting a malformed
+	// K/Z pair before deriving the partition keeps adversarial wire input
+	// (fuzzed K values, absurd deltas) from triggering expensive work.
+	if s.K < 1 || s.K > maxWireK {
+		return nil, fmt.Errorf("serial: mechanism K = %d out of range [1, %d]", s.K, maxWireK)
+	}
+	if len(s.Z) != s.K*s.K {
+		return nil, fmt.Errorf("serial: Z has %d entries, want %d", len(s.Z), s.K*s.K)
+	}
+	if s.Network == nil {
+		return nil, fmt.Errorf("serial: mechanism has no network")
+	}
 	g, err := s.Network.ToGraph()
 	if err != nil {
 		return nil, err
@@ -106,9 +127,6 @@ func (s *Mechanism) ToMechanism() (*core.Mechanism, error) {
 	}
 	if part.K() != s.K {
 		return nil, fmt.Errorf("serial: partition has %d intervals, mechanism was solved with %d", part.K(), s.K)
-	}
-	if len(s.Z) != s.K*s.K {
-		return nil, fmt.Errorf("serial: Z has %d entries, want %d", len(s.Z), s.K*s.K)
 	}
 	m := &core.Mechanism{Part: part, Z: s.Z}
 	if err := m.Validate(); err != nil {

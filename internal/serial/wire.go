@@ -1,0 +1,156 @@
+package serial
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+)
+
+// maxWireK bounds the interval count any wire-level mechanism or solve
+// spec may claim; it matches discretize's own partition-size cap.
+const maxWireK = 1 << 20
+
+// SolveSpec identifies one obfuscation mechanism: the road network plus
+// every parameter that shapes the solved matrix. Two specs with the same
+// Digest are guaranteed to describe the same mechanism, which is what the
+// serving layer keys its cache on.
+type SolveSpec struct {
+	Network *Network `json:"network"`
+	Delta   float64  `json:"delta"`
+	Epsilon float64  `json:"epsilon"`
+	Radius  float64  `json:"radius,omitempty"`
+	// Prior is the worker prior f_P over intervals; nil means uniform.
+	Prior []float64 `json:"prior,omitempty"`
+	// TaskPrior is the task prior f_Q; nil falls back to Prior.
+	TaskPrior []float64 `json:"task_prior,omitempty"`
+	Exact     bool      `json:"exact,omitempty"`
+}
+
+// Validate rejects specs the solver cannot accept: a missing or invalid
+// network, non-finite or non-positive delta/epsilon, a non-finite radius
+// or prior entries that are not probabilities. Full prior normalisation
+// is left to the solver (which checks the sum against K).
+func (s *SolveSpec) Validate() error {
+	if s.Network == nil || len(s.Network.Nodes) == 0 || len(s.Network.Edges) == 0 {
+		return fmt.Errorf("serial: solve spec has no network")
+	}
+	for i, n := range s.Network.Nodes {
+		if !finite(n.X) || !finite(n.Y) {
+			return fmt.Errorf("serial: node %d has non-finite position", i)
+		}
+	}
+	for i, e := range s.Network.Edges {
+		if !finite(e.Weight) {
+			return fmt.Errorf("serial: edge %d has non-finite weight", i)
+		}
+	}
+	if !(s.Delta > 0) || !finite(s.Delta) {
+		return fmt.Errorf("serial: invalid delta %v", s.Delta)
+	}
+	if !(s.Epsilon > 0) || !finite(s.Epsilon) {
+		return fmt.Errorf("serial: invalid epsilon %v", s.Epsilon)
+	}
+	if !finite(s.Radius) || s.Radius < 0 {
+		return fmt.Errorf("serial: invalid radius %v", s.Radius)
+	}
+	for name, prior := range map[string][]float64{"prior": s.Prior, "task_prior": s.TaskPrior} {
+		if len(prior) > maxWireK {
+			return fmt.Errorf("serial: %s has %d entries, cap is %d", name, len(prior), maxWireK)
+		}
+		for i, p := range prior {
+			if !(p >= 0) || !finite(p) {
+				return fmt.Errorf("serial: %s[%d] = %v is not a probability", name, i, p)
+			}
+		}
+	}
+	return nil
+}
+
+// Digest returns a deterministic content digest of the spec: the
+// hex-encoded SHA-256 of a canonical binary encoding of the network
+// topology and every solve parameter. Equal specs always digest equal;
+// the digest is stable across processes and releases of this package
+// (the encoding is versioned).
+func (s *SolveSpec) Digest() string {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.BigEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+
+	h.Write([]byte("vlp-solve-spec-v1"))
+	u64(uint64(len(s.Network.Nodes)))
+	for _, n := range s.Network.Nodes {
+		f64(n.X)
+		f64(n.Y)
+	}
+	u64(uint64(len(s.Network.Edges)))
+	for _, e := range s.Network.Edges {
+		u64(uint64(int64(e.From)))
+		u64(uint64(int64(e.To)))
+		f64(e.Weight)
+	}
+	f64(s.Delta)
+	f64(s.Epsilon)
+	f64(s.Radius)
+	u64(uint64(len(s.Prior)))
+	for _, p := range s.Prior {
+		f64(p)
+	}
+	u64(uint64(len(s.TaskPrior)))
+	for _, p := range s.TaskPrior {
+		f64(p)
+	}
+	if s.Exact {
+		u64(1)
+	} else {
+		u64(0)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Loc is an on-network location in the public road/from-start
+// convention: the Road-th directed edge (insertion order) at travel
+// distance FromStart from its starting connection.
+type Loc struct {
+	Road      int     `json:"road"`
+	FromStart float64 `json:"from_start"`
+}
+
+// SolveResponse answers POST /solve.
+type SolveResponse struct {
+	Key    string  `json:"key"`
+	Cached bool    `json:"cached"`
+	K      int     `json:"k"`
+	ETDD   float64 `json:"etdd"`
+	Bound  float64 `json:"lower_bound"`
+	// SolveMs is the wall time of the cold solve that produced the cached
+	// mechanism (0 reported only if the server predates the field).
+	SolveMs float64 `json:"solve_ms"`
+}
+
+// ObfuscateRequest asks POST /obfuscate for obfuscated replacements of a
+// batch of true locations; the embedded spec selects (and on a cache
+// miss, triggers the solve of) the mechanism.
+type ObfuscateRequest struct {
+	SolveSpec
+	Locations []Loc `json:"locations"`
+}
+
+// ObfuscateResponse carries the obfuscated batch in input order.
+type ObfuscateResponse struct {
+	Key       string `json:"key"`
+	Cached    bool   `json:"cached"`
+	Locations []Loc  `json:"locations"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx service answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,73 @@
+package serial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+func testSpec(t *testing.T) *SolveSpec {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	g := roadnet.Grid(rng, roadnet.GridConfig{Rows: 2, Cols: 2, Spacing: 0.3, WeightJitter: 0.1})
+	return &SolveSpec{Network: FromGraph(g), Delta: 0.2, Epsilon: 5}
+}
+
+func TestDigestDeterministic(t *testing.T) {
+	a, b := testSpec(t), testSpec(t)
+	if a.Digest() != b.Digest() {
+		t.Fatal("equal specs produced different digests")
+	}
+	if len(a.Digest()) != 64 {
+		t.Fatalf("digest is not hex SHA-256: %q", a.Digest())
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	base := testSpec(t).Digest()
+	mutations := map[string]func(*SolveSpec){
+		"delta":      func(s *SolveSpec) { s.Delta = 0.25 },
+		"epsilon":    func(s *SolveSpec) { s.Epsilon = 4 },
+		"radius":     func(s *SolveSpec) { s.Radius = 1 },
+		"exact":      func(s *SolveSpec) { s.Exact = true },
+		"prior":      func(s *SolveSpec) { s.Prior = []float64{1} },
+		"task prior": func(s *SolveSpec) { s.TaskPrior = []float64{1} },
+		"node":       func(s *SolveSpec) { s.Network.Nodes[0].X += 0.01 },
+		"edge":       func(s *SolveSpec) { s.Network.Edges[0].Weight += 0.01 },
+	}
+	for name, mutate := range mutations {
+		s := testSpec(t)
+		mutate(s)
+		if s.Digest() == base {
+			t.Errorf("mutating %s did not change the digest", name)
+		}
+	}
+}
+
+func TestSolveSpecValidate(t *testing.T) {
+	if err := testSpec(t).Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := map[string]func(*SolveSpec){
+		"nil network":     func(s *SolveSpec) { s.Network = nil },
+		"no edges":        func(s *SolveSpec) { s.Network.Edges = nil },
+		"zero delta":      func(s *SolveSpec) { s.Delta = 0 },
+		"nan delta":       func(s *SolveSpec) { s.Delta = math.NaN() },
+		"inf delta":       func(s *SolveSpec) { s.Delta = math.Inf(1) },
+		"zero epsilon":    func(s *SolveSpec) { s.Epsilon = 0 },
+		"negative radius": func(s *SolveSpec) { s.Radius = -1 },
+		"nan node":        func(s *SolveSpec) { s.Network.Nodes[0].X = math.NaN() },
+		"inf edge weight": func(s *SolveSpec) { s.Network.Edges[0].Weight = math.Inf(1) },
+		"negative prior":  func(s *SolveSpec) { s.Prior = []float64{-0.5, 1.5} },
+		"nan task prior":  func(s *SolveSpec) { s.TaskPrior = []float64{math.NaN()} },
+	}
+	for name, mutate := range bad {
+		s := testSpec(t)
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}

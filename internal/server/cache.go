@@ -1,0 +1,79 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// mechCache is a bounded LRU of solved mechanisms keyed by the solve
+// spec's content digest. A solved mechanism is immutable apart from its
+// internally-locked sampler state, so entries are shared freely between
+// requests; eviction merely drops the cache's reference.
+type mechCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used; values are *entry
+	items map[string]*list.Element
+}
+
+func newMechCache(max int) *mechCache {
+	if max < 1 {
+		max = 1
+	}
+	return &mechCache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, max),
+	}
+}
+
+// get returns the entry for key, promoting it to most recently used.
+func (c *mechCache) get(key string) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry), true
+}
+
+// add inserts (or refreshes) key and returns how many entries were
+// evicted to respect the bound.
+func (c *mechCache) add(key string, e *entry) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value = e
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	c.items[key] = c.ll.PushFront(e)
+	evicted := 0
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*entry).key)
+		evicted++
+	}
+	return evicted
+}
+
+// len returns the number of cached mechanisms.
+func (c *mechCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// entries snapshots the cached mechanisms in most-recently-used order.
+func (c *mechCache) entries() []*entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*entry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry))
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/roadnet"
+	"repro/internal/serial"
+)
+
+// Request-body and batch ceilings: a city-scale network serialises to a
+// few MB, and a batch is one fleet's reporting tick, not a bulk export.
+const (
+	maxBodyBytes = 32 << 20
+	maxBatch     = 10000
+)
+
+// Handler returns the service's HTTP routes:
+//
+//	POST /solve      solve (or fetch) the mechanism for a spec
+//	POST /obfuscate  obfuscate a batch of locations under a spec
+//	GET  /stats      counters + per-mechanism cache contents
+//	GET  /healthz    liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("POST /obfuscate", s.handleObfuscate)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var spec serial.SolveSpec
+	if !s.decode(w, r, &spec) {
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	e, cached, err := s.mechanismFor(r.Context(), &spec)
+	if err != nil {
+		s.writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, serial.SolveResponse{
+		Key:     e.key,
+		Cached:  cached,
+		K:       e.mech.K(),
+		ETDD:    e.etdd,
+		Bound:   e.bound,
+		SolveMs: float64(e.solveTime.Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleObfuscate(w http.ResponseWriter, r *http.Request) {
+	var req serial.ObfuscateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Locations) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("server: empty location batch"))
+		return
+	}
+	if len(req.Locations) > maxBatch {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: batch of %d exceeds cap %d", len(req.Locations), maxBatch))
+		return
+	}
+	e, cached, err := s.mechanismFor(r.Context(), &req.SolveSpec)
+	if err != nil {
+		s.writeServiceError(w, err)
+		return
+	}
+	g := e.prob.Part.G
+	out := make([]serial.Loc, len(req.Locations))
+	for i, loc := range req.Locations {
+		truth, err := toLocation(g, loc)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("location %d: %w", i, err))
+			return
+		}
+		obf, err := e.sample(r.Context(), truth)
+		if err != nil {
+			s.writeServiceError(w, err)
+			return
+		}
+		out[i] = serial.Loc{Road: int(obf.Edge), FromStart: obf.FromStart(g)}
+	}
+	writeJSON(w, http.StatusOK, serial.ObfuscateResponse{
+		Key:       e.key,
+		Cached:    cached,
+		Locations: out,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// toLocation validates a wire location against the graph and converts it
+// to the internal convention.
+func toLocation(g *roadnet.Graph, l serial.Loc) (roadnet.Location, error) {
+	if l.Road < 0 || l.Road >= g.NumEdges() {
+		return roadnet.Location{}, fmt.Errorf("road %d out of range [0, %d)", l.Road, g.NumEdges())
+	}
+	w := g.Edge(roadnet.EdgeID(l.Road)).Weight
+	if !(l.FromStart >= 0) || l.FromStart > w {
+		return roadnet.Location{}, fmt.Errorf("from_start %v outside road length %v", l.FromStart, w)
+	}
+	return roadnet.LocationFromStart(g, roadnet.EdgeID(l.Road), l.FromStart), nil
+}
+
+// decode reads a bounded JSON body into v, answering 4xx on failure.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, ErrClosed)
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad request body: %w", err))
+		}
+		return false
+	}
+	return true
+}
+
+// writeServiceError maps mechanismFor/sample failures to statuses:
+// backpressure → 429, shutdown → 503, solve-wait or request deadline →
+// 504, anything else (a solver rejection of a pathological instance) →
+// 422.
+func (s *Server) writeServiceError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrBusy):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusGatewayTimeout, err)
+	default:
+		writeError(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, serial.ErrorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

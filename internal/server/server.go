@@ -1,0 +1,285 @@
+// Package server implements the vlpserved obfuscation service: a
+// long-lived HTTP front end over the D-VLP solver that exploits the
+// offline/online split of location-privacy mechanisms — a column-
+// generation solve is expensive but its result is a reusable K×K matrix,
+// so the server solves each (network, params) spec once, caches the
+// mechanism in a bounded LRU keyed by the spec's content digest, and
+// serves obfuscation requests from the cache at sampling cost.
+//
+// Concurrency contract:
+//
+//   - concurrent requests for the same spec are deduplicated
+//     singleflight-style: one solve runs, everyone shares its result;
+//   - cold solves pass a bounded admission gate; past MaxSolves the
+//     request is rejected with 429 so load cannot pile up behind the
+//     solver;
+//   - every cached mechanism carries its own seeded RNG behind a mutex,
+//     so obfuscation is safe from any number of handler goroutines;
+//   - served mechanisms are re-verified against the full (ε, r)-Geo-I
+//     constraint set and repaired if solver tolerances left a residue
+//     (core.Problem.EnforceGeoI) — the service never hands out samples
+//     from a mechanism that violates the guarantee;
+//   - Shutdown drains in-flight solves so their results are not lost
+//     mid-computation.
+package server
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/discretize"
+	"repro/internal/roadnet"
+	"repro/internal/serial"
+)
+
+// geoITol is the violation ceiling enforced on every served mechanism;
+// an order of magnitude below the 1e-9 the service advertises.
+const geoITol = 1e-10
+
+// Config tunes a Server. The zero value selects sensible defaults.
+type Config struct {
+	// CacheSize bounds the mechanism LRU (default 16).
+	CacheSize int
+	// MaxSolves bounds concurrently running cold solves; requests whose
+	// spec needs a solve past this limit receive 429 (default 2).
+	MaxSolves int
+	// SolveWait caps how long a request waits for a cold solve before
+	// giving up with 504; the solve itself keeps running and lands in the
+	// cache (default 2 minutes).
+	SolveWait time.Duration
+	// Seed is the base seed for per-mechanism sampler RNGs; each solved
+	// mechanism gets Seed+n for the n-th solve, so a fixed Seed makes a
+	// single-threaded request sequence reproducible (default 1).
+	Seed int64
+	// CG overrides the column-generation options for non-exact specs;
+	// zero value selects the solver defaults used by vlp.Build.
+	CG core.CGOptions
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 16
+	}
+	if c.MaxSolves <= 0 {
+		c.MaxSolves = 2
+	}
+	if c.SolveWait <= 0 {
+		c.SolveWait = 2 * time.Minute
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.CG.Xi == 0 && c.CG.RelGap == 0 {
+		c.CG = core.CGOptions{Xi: -0.05, RelGap: 0.02}
+	}
+	return c
+}
+
+// entry is one cached mechanism with its concurrency-safe sampler.
+type entry struct {
+	key       string
+	prob      *core.Problem
+	mech      *core.Mechanism
+	etdd      float64
+	bound     float64
+	solveTime time.Duration
+	served    atomic.Int64
+
+	// sampleMu guards rng: mechanism rows are immutable, the RNG stream
+	// is the only mutable sampler state.
+	sampleMu chanMutex
+	rng      *rand.Rand
+}
+
+// chanMutex is a mutex whose Lock can be abandoned on context
+// cancellation, so a request deadline also bounds time spent queueing
+// for a popular mechanism's sampler.
+type chanMutex chan struct{}
+
+func newChanMutex() chanMutex { return make(chanMutex, 1) }
+
+func (m chanMutex) lock(ctx context.Context) error {
+	select {
+	case m <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (m chanMutex) unlock() { <-m }
+
+// sample obfuscates one true location under the entry's mechanism.
+func (e *entry) sample(ctx context.Context, truth roadnet.Location) (roadnet.Location, error) {
+	if err := e.sampleMu.lock(ctx); err != nil {
+		return roadnet.Location{}, err
+	}
+	defer e.sampleMu.unlock()
+	obf := e.mech.Sample(e.rng, truth)
+	e.served.Add(1)
+	return obf, nil
+}
+
+// Service errors mapped to HTTP statuses by the handlers.
+var (
+	// ErrBusy reports that the in-flight solve limit is reached; clients
+	// should back off and retry (429).
+	ErrBusy = errors.New("server: solve capacity exhausted, retry later")
+	// ErrClosed reports that the server is shutting down (503).
+	ErrClosed = errors.New("server: shutting down")
+)
+
+// Server is the obfuscation service. Create with New; all methods are
+// safe for concurrent use.
+type Server struct {
+	cfg    Config
+	cache  *mechCache
+	flight *group
+	slots  chan struct{} // admission gate for cold solves
+	stats  *stats
+	closed atomic.Bool
+	seq    atomic.Int64 // per-solve sampler seed offset
+
+	// solveFn builds the entry for a validated spec; tests substitute a
+	// stub to count and pace solves deterministically.
+	solveFn func(spec *serial.SolveSpec) (*entry, error)
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		cache:  newMechCache(cfg.CacheSize),
+		flight: newGroup(),
+		slots:  make(chan struct{}, cfg.MaxSolves),
+		stats:  &stats{},
+	}
+	s.solveFn = s.solve
+	return s
+}
+
+// mechanismFor returns the cached mechanism for spec, solving it on a
+// miss. The second result reports whether the request was served from
+// cache (joining an in-flight solve counts as a miss).
+func (s *Server) mechanismFor(ctx context.Context, spec *serial.SolveSpec) (*entry, bool, error) {
+	key := spec.Digest()
+	if e, ok := s.cache.get(key); ok {
+		s.stats.hit()
+		return e, true, nil
+	}
+	s.stats.miss()
+	if s.closed.Load() {
+		return nil, false, ErrClosed
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.SolveWait)
+	defer cancel()
+	e, err := s.flight.do(ctx, key, func() (*entry, error) {
+		// Double-check under singleflight: a previous flight may have
+		// populated the cache between our miss and becoming leader.
+		if e, ok := s.cache.get(key); ok {
+			return e, nil
+		}
+		if s.closed.Load() {
+			return nil, ErrClosed
+		}
+		select {
+		case s.slots <- struct{}{}:
+		default:
+			s.stats.reject()
+			return nil, ErrBusy
+		}
+		defer func() { <-s.slots }()
+		start := time.Now()
+		e, err := s.solveFn(spec)
+		if err != nil {
+			s.stats.solveFailed()
+			return nil, err
+		}
+		e.key = key
+		e.solveTime = time.Since(start)
+		evicted := s.cache.add(key, e)
+		s.stats.solved(e.solveTime, evicted)
+		return e, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return e, false, nil
+}
+
+// solve runs the full offline pipeline for a validated spec:
+// discretise, assemble D-VLP, solve by column generation, then enforce
+// the Geo-I invariant on the result.
+func (s *Server) solve(spec *serial.SolveSpec) (*entry, error) {
+	g, err := spec.Network.ToGraph()
+	if err != nil {
+		return nil, err
+	}
+	part, err := discretize.New(g, spec.Delta)
+	if err != nil {
+		return nil, err
+	}
+	var priorP, priorQ []float64
+	if len(spec.Prior) > 0 {
+		priorP, priorQ = spec.Prior, spec.Prior
+	}
+	if len(spec.TaskPrior) > 0 {
+		priorQ = spec.TaskPrior
+	}
+	pr, err := core.NewProblem(part, core.Config{
+		Epsilon: spec.Epsilon,
+		Radius:  spec.Radius,
+		PriorP:  priorP,
+		PriorQ:  priorQ,
+	})
+	if err != nil {
+		return nil, err
+	}
+	opts := s.cfg.CG
+	if spec.Exact {
+		opts = core.CGOptions{Xi: 0}
+	}
+	res, err := core.SolveCG(pr, opts)
+	if err != nil {
+		return nil, err
+	}
+	mech, etdd, err := pr.EnforceGeoI(res.Mechanism, geoITol)
+	if err != nil {
+		return nil, err
+	}
+	return &entry{
+		prob:     pr,
+		mech:     mech,
+		etdd:     etdd,
+		bound:    res.LowerBound,
+		sampleMu: newChanMutex(),
+		rng:      rand.New(rand.NewSource(s.cfg.Seed + s.seq.Add(1))),
+	}, nil
+}
+
+// Shutdown stops admitting new solves and drains the in-flight ones
+// (their results still land in the cache for a possible restart-free
+// resume). It returns ctx.Err() if the drain outlives the context; the
+// solves keep running regardless.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closed.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.flight.wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stats snapshots the service counters and cached mechanisms.
+func (s *Server) Stats() StatsSnapshot { return s.stats.snapshot(s.cache) }

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// call is one in-flight solve shared by every request for its key.
+type call struct {
+	done chan struct{}
+	val  *entry
+	err  error
+}
+
+// group deduplicates concurrent solves per key, singleflight-style: the
+// first request for a key becomes the leader and runs the solve in its
+// own goroutine; followers block on the shared result (or their own
+// context). The solve goroutine is detached from the leader's request so
+// a caller that times out does not abort work other callers — and the
+// cache — still want; graceful shutdown waits for these goroutines via
+// wait.
+type group struct {
+	mu sync.Mutex
+	m  map[string]*call
+	wg sync.WaitGroup
+}
+
+func newGroup() *group { return &group{m: make(map[string]*call)} }
+
+// do returns the result of fn for key, running fn at most once across
+// all concurrent callers of the same key. The key is forgotten once fn
+// returns, so a failed solve (for example a backpressure rejection) can
+// be retried by later requests.
+func (g *group) do(ctx context.Context, key string, fn func() (*entry, error)) (*entry, error) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		return awaitCall(ctx, c)
+	}
+	c := &call{done: make(chan struct{})}
+	g.m[key] = c
+	g.wg.Add(1)
+	g.mu.Unlock()
+
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.val, c.err = nil, fmt.Errorf("server: solve panicked: %v", r)
+			}
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+			close(c.done)
+			g.wg.Done()
+		}()
+		c.val, c.err = fn()
+	}()
+	return awaitCall(ctx, c)
+}
+
+func awaitCall(ctx context.Context, c *call) (*entry, error) {
+	select {
+	case <-c.done:
+		return c.val, c.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// wait blocks until every in-flight solve goroutine has finished.
+func (g *group) wait() { g.wg.Wait() }

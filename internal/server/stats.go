@@ -1,0 +1,115 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// stats aggregates service counters under one mutex; the hot obfuscate
+// path touches it once per request.
+type stats struct {
+	mu         sync.Mutex
+	hits       uint64
+	misses     uint64
+	solves     uint64
+	rejected   uint64 // backpressure 429s issued by the solve gate
+	evicted    uint64
+	errors     uint64 // failed solves
+	solveTotal time.Duration
+	solveMax   time.Duration
+}
+
+func (s *stats) hit() {
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+}
+
+func (s *stats) miss() {
+	s.mu.Lock()
+	s.misses++
+	s.mu.Unlock()
+}
+
+func (s *stats) reject() {
+	s.mu.Lock()
+	s.rejected++
+	s.mu.Unlock()
+}
+
+func (s *stats) solveFailed() {
+	s.mu.Lock()
+	s.errors++
+	s.mu.Unlock()
+}
+
+func (s *stats) solved(d time.Duration, evicted int) {
+	s.mu.Lock()
+	s.solves++
+	s.evicted += uint64(evicted)
+	s.solveTotal += d
+	if d > s.solveMax {
+		s.solveMax = d
+	}
+	s.mu.Unlock()
+}
+
+// MechStats describes one cached mechanism in GET /stats.
+type MechStats struct {
+	Key     string  `json:"key"`
+	K       int     `json:"k"`
+	ETDD    float64 `json:"etdd"`
+	Bound   float64 `json:"lower_bound"`
+	SolveMs float64 `json:"solve_ms"`
+	// Served counts locations obfuscated with this mechanism.
+	Served int64 `json:"served"`
+}
+
+// StatsSnapshot is the GET /stats payload.
+type StatsSnapshot struct {
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheLen     int     `json:"cache_len"`
+	CacheEvicted uint64  `json:"cache_evicted"`
+	Solves       uint64  `json:"solves"`
+	SolveErrors  uint64  `json:"solve_errors"`
+	Rejected     uint64  `json:"rejected"`
+	AvgSolveMs   float64 `json:"avg_solve_ms"`
+	MaxSolveMs   float64 `json:"max_solve_ms"`
+	// Mechanisms lists the cached mechanisms, most recently used first,
+	// with their ETDD so operators can watch quality loss per network.
+	Mechanisms []MechStats `json:"mechanisms"`
+}
+
+// snapshot captures the counters plus the current cache contents.
+func (s *stats) snapshot(cache *mechCache) StatsSnapshot {
+	s.mu.Lock()
+	snap := StatsSnapshot{
+		CacheHits:    s.hits,
+		CacheMisses:  s.misses,
+		CacheEvicted: s.evicted,
+		Solves:       s.solves,
+		SolveErrors:  s.errors,
+		Rejected:     s.rejected,
+		MaxSolveMs:   float64(s.solveMax) / float64(time.Millisecond),
+	}
+	if s.solves > 0 {
+		snap.AvgSolveMs = float64(s.solveTotal) / float64(s.solves) / float64(time.Millisecond)
+	}
+	s.mu.Unlock()
+
+	entries := cache.entries()
+	snap.CacheLen = len(entries)
+	snap.Mechanisms = make([]MechStats, 0, len(entries))
+	for _, e := range entries {
+		snap.Mechanisms = append(snap.Mechanisms, MechStats{
+			Key:     e.key,
+			K:       e.mech.K(),
+			ETDD:    e.etdd,
+			Bound:   e.bound,
+			SolveMs: float64(e.solveTime) / float64(time.Millisecond),
+			Served:  e.served.Load(),
+		})
+	}
+	return snap
+}

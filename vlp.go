@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 
 	"repro/internal/attack"
 	"repro/internal/calibrate"
@@ -145,6 +146,50 @@ func (m *Mechanism) IntervalOf(l Location) int {
 func (m *Mechanism) Obfuscate(rng *rand.Rand, truth Location) Location {
 	obf := m.mech.Sample(rng, m.toInternal(truth))
 	return m.fromInternal(obf)
+}
+
+// Sampler is a concurrency-safe obfuscation handle: it owns a seeded RNG
+// behind a mutex so any number of goroutines can draw obfuscated
+// locations from one shared (immutable) mechanism. This is the sampling
+// entry point the vlpserved service uses per cached mechanism.
+type Sampler struct {
+	m   *Mechanism
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Sampler returns a new concurrency-safe sampler over the mechanism,
+// seeded deterministically: two samplers with equal seeds over equal
+// mechanisms produce identical obfuscation streams when called from a
+// single goroutine.
+func (m *Mechanism) Sampler(seed int64) *Sampler {
+	return &Sampler{m: m, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Obfuscate draws an obfuscated location for the true location. Safe for
+// concurrent use.
+func (s *Sampler) Obfuscate(truth Location) Location {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.Obfuscate(s.rng, truth)
+}
+
+// Digest returns a deterministic content digest of (network, params):
+// hex-encoded SHA-256 over a canonical binary encoding of the graph
+// topology and every Build parameter that shapes the solved mechanism.
+// Equal inputs digest equal across processes, which makes the digest a
+// sound cache key for solved mechanisms (vlpserved keys its LRU on it).
+func Digest(r *RoadNetwork, p Params) string {
+	spec := &serial.SolveSpec{
+		Network:   serial.FromGraph(r.g),
+		Delta:     p.Delta,
+		Epsilon:   p.Epsilon,
+		Radius:    p.Radius,
+		Prior:     p.WorkerPrior,
+		TaskPrior: p.TaskPrior,
+		Exact:     p.Exact,
+	}
+	return spec.Digest()
 }
 
 // QualityLoss returns the mechanism's expected traveling-distance
