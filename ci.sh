@@ -10,3 +10,13 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./...
+
+# Chaos gate: the fault-injection suite must hold the Geo-I guarantee
+# under injected errors/panics/stalls at every solver site, with the
+# race detector watching the degradation ladder's locks.
+go test -race -run 'TestChaos' ./internal/server
+
+# Fuzz smoke: ten seconds per serial decoder, enough to catch a freshly
+# introduced parsing crash without stalling the gate.
+go test -fuzz=FuzzNetworkRoundTrip -fuzztime=10s -run '^$' ./internal/serial
+go test -fuzz=FuzzMechanismRoundTrip -fuzztime=10s -run '^$' ./internal/serial

@@ -6,14 +6,21 @@
 // Usage:
 //
 //	vlpserved [-addr :8750] [-cache 16] [-solves 2] [-solve-wait 2m]
-//	          [-seed 1] [-xi -0.05] [-relgap 0.02]
+//	          [-solve-deadline 2m] [-no-upgrade] [-seed 1]
+//	          [-xi -0.05] [-relgap 0.02]
 //
 // Endpoints (JSON bodies; see internal/serial for the wire structs):
 //
 //	POST /solve      {"network": {...}, "delta": D, "epsilon": E, ...}
 //	POST /obfuscate  same spec + "locations": [{"road": R, "from_start": X}, ...]
 //	GET  /stats      cache hits/misses, solve latencies, per-mechanism ETDD
-//	GET  /healthz    liveness
+//	GET  /healthz    readiness (503 once draining)
+//
+// A solve that cannot finish — per-solve deadline, every waiter gone,
+// drain expiry — degrades instead of failing: the service serves the
+// interrupted run's best incumbent, or the closed-form exponential
+// mechanism, always repaired to full (ε, r)-Geo-I feasibility. See the
+// README's "Failure semantics" section.
 package main
 
 import (
@@ -35,6 +42,8 @@ func main() {
 	cache := flag.Int("cache", 16, "mechanism LRU capacity")
 	solves := flag.Int("solves", 2, "max concurrent cold solves (excess gets 429)")
 	solveWait := flag.Duration("solve-wait", 2*time.Minute, "max time a request waits for a cold solve")
+	solveDeadline := flag.Duration("solve-deadline", 2*time.Minute, "max wall time per CG solve before it degrades to its incumbent (0 = unbounded)")
+	noUpgrade := flag.Bool("no-upgrade", false, "disable background re-solves that promote degraded cache entries")
 	seed := flag.Int64("seed", 1, "base sampler seed")
 	xi := flag.Float64("xi", -0.05, "column-generation termination threshold ξ (≤ 0)")
 	relgap := flag.Float64("relgap", 0.02, "column-generation relative dual-gap stop")
@@ -42,11 +51,13 @@ func main() {
 	flag.Parse()
 
 	srv := server.New(server.Config{
-		CacheSize: *cache,
-		MaxSolves: *solves,
-		SolveWait: *solveWait,
-		Seed:      *seed,
-		CG:        core.CGOptions{Xi: *xi, RelGap: *relgap},
+		CacheSize:      *cache,
+		MaxSolves:      *solves,
+		SolveWait:      *solveWait,
+		SolveDeadline:  *solveDeadline,
+		DisableUpgrade: *noUpgrade,
+		Seed:           *seed,
+		CG:             core.CGOptions{Xi: *xi, RelGap: *relgap},
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -67,8 +78,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "vlpserved: %v, draining\n", sig)
 	}
 
-	// Stop accepting requests first, then drain in-flight solves so
-	// nothing is killed mid-computation.
+	// Flip /healthz to 503 first so load balancers stop routing here
+	// while the listener finishes in-flight requests, then drain the
+	// detached solves. Past the drain budget, srv.Shutdown cancels the
+	// stragglers and the degradation ladder banks their incumbents.
+	srv.BeginShutdown()
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {

@@ -1,14 +1,24 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/lp"
 	"repro/internal/roadnet"
+)
+
+// Fault-injection sites visited by the column-generation loop (see
+// internal/faultinject): once per master solve and once per pricing
+// subproblem.
+const (
+	FaultSiteCGMaster  = "core/cg/master"
+	FaultSiteCGPricing = "core/cg/pricing"
 )
 
 // CGOptions tune the Dantzig–Wolfe column-generation solver.
@@ -137,7 +147,36 @@ const cgTol = 1e-9
 // when binding, so exactness is preserved) and Wentges smoothing of the
 // pricing duals with a verification pass at the exact master duals
 // before any optimality claim.
+//
+// SolveCG is SolveCGCtx with a background context: it runs to a
+// convergence or iteration-limit stop and cannot be abandoned.
 func SolveCG(pr *Problem, opts CGOptions) (*CGResult, error) {
+	return SolveCGCtx(context.Background(), pr, opts)
+}
+
+// SolveCGCtx solves D-VLP by column generation under a context.
+//
+// Cancellation semantics: the context is polled at every master/pricing
+// round boundary and inside each LP solve (per simplex-pivot batch, per
+// IPM Newton iteration), so abandonment latency is bounded by roughly
+// one master round. When the context expires after at least one master
+// solve has completed, SolveCGCtx returns the *incumbent* — a CGResult
+// whose Mechanism is the valid (feasible up to solver tolerance) primal
+// solution of the last completed master, with Stopped describing the
+// interruption — together with the context's error. Callers that want
+// graceful degradation use the mechanism; callers that want
+// all-or-nothing semantics treat the non-nil error as fatal. If the
+// context expires before any master solve completes, the result is nil.
+//
+// Any panic escaping the solver stack (a numeric breakdown deep in a
+// factorisation) is recovered and returned as a *PanicError instead of
+// unwinding into the caller.
+func SolveCGCtx(ctx context.Context, pr *Problem, opts CGOptions) (res *CGResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, newPanicError("core.SolveCG", r)
+		}
+	}()
 	opts = opts.withDefaults()
 	if opts.Xi > 0 {
 		return nil, fmt.Errorf("core: CG threshold Xi must be ≤ 0, got %v", opts.Xi)
@@ -147,8 +186,11 @@ func SolveCG(pr *Problem, opts CGOptions) (*CGResult, error) {
 
 	columns := seedColumns(pr, opts.PlainSeed)
 	sub := newPricer(pr, opts)
-	res := &CGResult{LowerBound: math.Inf(-1)}
+	res = &CGResult{LowerBound: math.Inf(-1)}
 	var lambda []float64
+	// ctxErr records a cancellation observed mid-run; the loop breaks
+	// with the incumbent and the error is returned alongside the result.
+	var ctxErr error
 
 	// Dual box radius for the master stabilization slacks.
 	cmax := 0.0
@@ -170,18 +212,34 @@ func SolveCG(pr *Problem, opts CGOptions) (*CGResult, error) {
 
 	var piStab []float64 // dual point of the best Lagrangian bound
 
+rounds:
 	for iter := 0; iter < opts.MaxIterations; iter++ {
+		if cerr := ctx.Err(); cerr != nil {
+			ctxErr = cerr
+			res.Stopped = fmt.Sprintf("cancelled before iteration %d: %v", iter, cerr)
+			break
+		}
 		iterStart := time.Now()
 
-		masterObj, lam, piM, muM, slack, err := solveMaster(pr, columns, rho, opts.LP)
-		if err != nil {
-			if iter == 0 {
-				return nil, fmt.Errorf("core: CG master iteration 0: %w", err)
+		merr := faultinject.At(FaultSiteCGMaster)
+		var masterObj, slack float64
+		var lam, piM, muM []float64
+		if merr == nil {
+			masterObj, lam, piM, muM, slack, merr = solveMaster(ctx, pr, columns, rho, opts.LP)
+		}
+		if merr != nil {
+			if lambda == nil {
+				// No master has ever solved: there is no incumbent to
+				// degrade to.
+				return nil, fmt.Errorf("core: CG master iteration %d: %w", iter, merr)
 			}
 			// A late master failure leaves a valid incumbent from the
 			// previous round; stop generating columns and return it
 			// (the dual bound still brackets its gap).
-			res.Stopped = fmt.Sprintf("master solve failed at iteration %d: %v", iter, err)
+			res.Stopped = fmt.Sprintf("master solve failed at iteration %d: %v", iter, merr)
+			if cerr := ctx.Err(); cerr != nil {
+				ctxErr = cerr
+			}
 			break
 		}
 		lambda = lam
@@ -198,9 +256,16 @@ func SolveCG(pr *Problem, opts CGOptions) (*CGResult, error) {
 		var it CGIteration
 		verified := samePoint(piUse, piM)
 		for {
-			subMins, cols, err := sub.priceAll(piUse)
-			if err != nil {
-				return nil, fmt.Errorf("core: CG pricing iteration %d: %w", iter, err)
+			subMins, cols, perr := sub.priceAll(ctx, piUse)
+			if perr != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					// Cancellation mid-pricing: this round's master
+					// solution is a complete, valid incumbent.
+					ctxErr = cerr
+					res.Stopped = fmt.Sprintf("cancelled during pricing at iteration %d: %v", iter, cerr)
+					break rounds
+				}
+				return nil, fmt.Errorf("core: CG pricing iteration %d: %w", iter, perr)
 			}
 
 			// Lagrangian bound L(π) = Σ_k π_k + Σ_l min_{z∈Λ_l}(c_l − π)z,
@@ -301,6 +366,12 @@ func SolveCG(pr *Problem, opts CGOptions) (*CGResult, error) {
 		}
 	}
 
+	if lambda == nil {
+		// Cancelled before the first master round ever completed: no
+		// incumbent exists, only the error is meaningful.
+		return nil, ctxErr
+	}
+
 	// Recover Z from the final master weights: z_{·,l} = Σ_t λ_{l,t} ẑ_t.
 	// Columns appended after the last master solve carry no weight, so
 	// only the first len(lambda) columns participate.
@@ -323,7 +394,10 @@ func SolveCG(pr *Problem, opts CGOptions) (*CGResult, error) {
 		res.LowerBound = 0
 	}
 	res.Elapsed = time.Since(start)
-	return res, nil
+	// A cancelled run still returns its incumbent: callers use the
+	// mechanism for graceful degradation or drop it for all-or-nothing
+	// semantics.
+	return res, ctxErr
 }
 
 func samePoint(a, b []float64) bool {
@@ -436,7 +510,8 @@ func (pr *Problem) columnCost(l int, z []float64) float64 {
 // has wildly non-unique duals and the pricing loop oscillates instead of
 // converging. When the box binds (slack > 0), the caller escalates ρ and
 // re-solves, so the final answer is exact.
-func solveMaster(pr *Problem, columns []cgColumn, rho float64, lpOpts lp.Options) (obj float64, lambda, pi, mu []float64, slackUse float64, err error) {
+func solveMaster(ctx context.Context, pr *Problem, columns []cgColumn, rho float64, lpOpts lp.Options) (obj float64, lambda, pi, mu []float64, slackUse float64, err error) {
+	lpOpts.Ctx = ctx
 	k := pr.Part.K()
 	n := len(columns)
 	prob := lp.NewProblem(n + 2*k)
@@ -558,7 +633,9 @@ func newPricer(pr *Problem, opts CGOptions) *pricer {
 
 // priceAll solves every sub_l at dual point π, returning per block the
 // subproblem optimum min_{z∈Λ_l}(c_l − π)·z and the minimiser column.
-func (p *pricer) priceAll(pi []float64) ([]float64, []cgColumn, error) {
+// Workers poll ctx between subproblems, so a cancelled pricing round
+// returns within one subproblem solve per worker.
+func (p *pricer) priceAll(ctx context.Context, pi []float64) ([]float64, []cgColumn, error) {
 	k := p.pr.Part.K()
 	mins := make([]float64, k)
 	cols := make([]cgColumn, k)
@@ -575,7 +652,21 @@ func (p *pricer) priceAll(pi []float64) ([]float64, []cgColumn, error) {
 		go func() {
 			defer wg.Done()
 			for l := range work {
-				mins[l], cols[l], errs[l] = p.priceOne(l, pi)
+				if cerr := ctx.Err(); cerr != nil {
+					errs[l] = cerr
+					continue
+				}
+				// A panic on a worker goroutine would crash the process —
+				// the caller's recover cannot reach it — so each subproblem
+				// converts its own panics into a *PanicError.
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							errs[l] = newPanicError("core.pricer", r)
+						}
+					}()
+					mins[l], cols[l], errs[l] = p.priceOne(ctx, l, pi)
+				}()
 			}
 		}()
 	}
@@ -593,8 +684,13 @@ func (p *pricer) priceAll(pi []float64) ([]float64, []cgColumn, error) {
 	return mins, cols, nil
 }
 
-func (p *pricer) priceOne(l int, pi []float64) (float64, cgColumn, error) {
+func (p *pricer) priceOne(ctx context.Context, l int, pi []float64) (float64, cgColumn, error) {
+	if err := faultinject.At(FaultSiteCGPricing); err != nil {
+		return 0, cgColumn{}, fmt.Errorf("injected fault: %w", err)
+	}
 	k := p.pr.Part.K()
+	lpOpts := p.opts.LP
+	lpOpts.Ctx = ctx
 
 	// Dual formulation (see the pricer doc comment).
 	prob := lp.NewProblem(p.numDual)
@@ -605,7 +701,7 @@ func (p *pricer) priceOne(l int, pi []float64) (float64, cgColumn, error) {
 		w := p.pr.Costs[i*k+l] - pi[i]
 		prob.AddConstraint(p.dualRows[i], lp.GE, -w)
 	}
-	sol, err := lp.Solve(prob, p.opts.LP)
+	sol, err := lp.Solve(prob, lpOpts)
 	if err == nil && sol.Status == lp.Optimal {
 		z := make([]float64, k)
 		for i := 0; i < k; i++ {
@@ -622,7 +718,7 @@ func (p *pricer) priceOne(l int, pi []float64) (float64, cgColumn, error) {
 	for i := 0; i < k; i++ {
 		primal.SetObjectiveCoeff(i, p.pr.Costs[i*k+l]-pi[i])
 	}
-	psol, err := lp.Solve(primal, p.opts.LP)
+	psol, err := lp.Solve(primal, lpOpts)
 	if err != nil {
 		return 0, cgColumn{}, err
 	}

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a panic recovered at a solver entry point and converted
+// into an ordinary error. Numeric code can panic far from its caller — a
+// Cholesky breakdown, an index derailed by a NaN — and a long-lived
+// serving process must treat that as "this solve failed", not die.
+// Callers detect it with errors.As and can log Stack for the post-mortem
+// while degrading to a fallback mechanism.
+type PanicError struct {
+	// Site names the recovering entry point (e.g. "core.SolveCG").
+	Site string
+	// Value is the recovered panic value.
+	Value interface{}
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: panic recovered in %s: %v", e.Site, e.Value)
+}
+
+func newPanicError(site string, v interface{}) *PanicError {
+	return &PanicError{Site: site, Value: v, Stack: debug.Stack()}
+}

@@ -1,0 +1,110 @@
+// Package faultinject is a process-wide registry of named failure
+// points for chaos testing. Production code marks interesting sites with
+//
+//	if err := faultinject.At("core/cg/master"); err != nil { ... }
+//
+// and tests arm those sites with an error, a panic or a delay. The
+// design constraint is zero overhead on the serving path when nothing is
+// armed: At performs a single atomic load and returns nil before
+// touching any lock, so leaving the calls compiled into release binaries
+// costs one predictable branch.
+//
+// The registry is global (faults cross goroutine boundaries exactly like
+// the failures they imitate), so tests that arm faults must not run in
+// parallel with tests that assume a clean solver; arm in a defer-Reset
+// pair.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault describes what an armed site does. Exactly the non-zero actions
+// fire, in order: Delay first (simulating a slow dependency), then Panic,
+// then Err. A Fault with only a Delay returns nil after sleeping.
+type Fault struct {
+	// Delay is slept before anything else, simulating a stalled
+	// dependency; combined with a caller deadline it manufactures
+	// timeouts.
+	Delay time.Duration
+	// Panic, when non-nil, is raised via panic() — the hard-failure mode
+	// (numeric breakdowns, index bugs) that panic-recovery layers must
+	// absorb.
+	Panic interface{}
+	// Err, when non-nil, is returned from At — the soft-failure mode.
+	Err error
+	// Times bounds how often the fault fires before disarming itself;
+	// 0 means every visit until Clear/Reset.
+	Times int
+}
+
+var (
+	// armed counts armed sites; At bails out on zero without locking.
+	armed atomic.Int32
+
+	mu    sync.Mutex
+	sites map[string]*Fault
+)
+
+// Set arms site with f, replacing any previous fault at that site.
+func Set(site string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	if sites == nil {
+		sites = make(map[string]*Fault)
+	}
+	if _, ok := sites[site]; !ok {
+		armed.Add(1)
+	}
+	fc := f
+	sites[site] = &fc
+}
+
+// Clear disarms site; clearing an unarmed site is a no-op.
+func Clear(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := sites[site]; ok {
+		delete(sites, site)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every site.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Store(0)
+	sites = nil
+}
+
+// At visits a failure point: it fires the fault armed at site (sleeping,
+// panicking or returning its error) or returns nil. The fast path — no
+// site armed anywhere — is a single atomic load.
+func At(site string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	f, ok := sites[site]
+	if ok && f.Times > 0 {
+		f.Times--
+		if f.Times == 0 {
+			delete(sites, site)
+			armed.Add(-1)
+		}
+	}
+	mu.Unlock()
+	if !ok {
+		return nil
+	}
+	if f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+	if f.Panic != nil {
+		panic(f.Panic)
+	}
+	return f.Err
+}

@@ -1,0 +1,106 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNil(t *testing.T) {
+	Reset()
+	if err := At("anything"); err != nil {
+		t.Fatalf("unarmed site returned %v", err)
+	}
+}
+
+func TestErrorFault(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Set("a", Fault{Err: boom})
+	if err := At("a"); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	// Other sites stay clean while one is armed.
+	if err := At("b"); err != nil {
+		t.Fatalf("unarmed sibling site returned %v", err)
+	}
+	Clear("a")
+	if err := At("a"); err != nil {
+		t.Fatalf("cleared site returned %v", err)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	defer Reset()
+	Set("p", Fault{Panic: "cholesky broke"})
+	defer func() {
+		if r := recover(); r != "cholesky broke" {
+			t.Fatalf("recovered %v", r)
+		}
+	}()
+	_ = At("p")
+	t.Fatal("At did not panic")
+}
+
+func TestDelayFault(t *testing.T) {
+	defer Reset()
+	Set("d", Fault{Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := At("d"); err != nil {
+		t.Fatalf("delay-only fault returned %v", err)
+	}
+	if e := time.Since(start); e < 25*time.Millisecond {
+		t.Fatalf("delay fault slept only %v", e)
+	}
+}
+
+func TestTimesDisarms(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Set("t", Fault{Err: boom, Times: 2})
+	for i := 0; i < 2; i++ {
+		if err := At("t"); !errors.Is(err, boom) {
+			t.Fatalf("firing %d: got %v", i, err)
+		}
+	}
+	if err := At("t"); err != nil {
+		t.Fatalf("exhausted fault still fired: %v", err)
+	}
+}
+
+// TestConcurrentVisits exercises the registry under the race detector:
+// many goroutines visiting armed and unarmed sites while another arms
+// and clears.
+func TestConcurrentVisits(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			Set("hot", Fault{Err: boom})
+			Clear("hot")
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				_ = At("hot")
+				_ = At("cold")
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

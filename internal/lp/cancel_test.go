@@ -1,0 +1,54 @@
+package lp
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+func cancelTestProblem() *Problem {
+	// min -x0 - 2x1 s.t. x0 + x1 <= 4, x1 <= 2.
+	p := NewProblem(2)
+	p.SetObjective([]float64{-1, -2})
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 4)
+	p.AddConstraint([]Term{{1, 1}}, LE, 2)
+	return p
+}
+
+func TestSolvePreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Solve(cancelTestProblem(), Options{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Solve err = %v, want context.Canceled", err)
+	}
+	if _, err := SolveIPM(cancelTestProblem(), Options{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveIPM err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveNilCtxUnaffected(t *testing.T) {
+	// The zero Options must keep working: nil context means "never
+	// cancelled", the pre-context behaviour.
+	if _, err := Solve(cancelTestProblem(), Options{}); err != nil {
+		t.Fatalf("Solve with nil ctx: %v", err)
+	}
+	if _, err := SolveIPM(cancelTestProblem(), Options{}); err != nil {
+		t.Fatalf("SolveIPM with nil ctx: %v", err)
+	}
+}
+
+func TestSolveIPMInjectedFault(t *testing.T) {
+	defer faultinject.Reset()
+	boom := errors.New("injected IPM failure")
+	faultinject.Set(FaultSiteIPM, faultinject.Fault{Err: boom, Times: 1})
+	if _, err := SolveIPM(cancelTestProblem(), Options{}); !errors.Is(err, boom) {
+		t.Fatalf("SolveIPM err = %v, want wrapped %v", err, boom)
+	}
+	// The fault self-disarmed after one visit; the next solve succeeds.
+	sol, err := SolveIPM(cancelTestProblem(), Options{})
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("post-fault solve: %v (status %v)", err, sol.Status)
+	}
+}

@@ -3,7 +3,13 @@ package lp
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/faultinject"
 )
+
+// FaultSiteIPM is the fault-injection site visited once per SolveIPM
+// call, before any factorisation work (see internal/faultinject).
+const FaultSiteIPM = "lp/ipm"
 
 // SolveIPM minimises the problem with an infeasible-start Mehrotra
 // predictor-corrector primal-dual interior-point method.
@@ -21,6 +27,9 @@ import (
 func SolveIPM(p *Problem, opts Options) (*Solution, error) {
 	if len(p.constraints) == 0 {
 		return nil, ErrNoConstraints
+	}
+	if err := faultinject.At(FaultSiteIPM); err != nil {
+		return nil, fmt.Errorf("lp: injected fault: %w", err)
 	}
 	ip := newIPM(p, opts)
 	return ip.solve()
@@ -178,6 +187,13 @@ func (ip *ipm) solve() (*Solution, error) {
 
 	for iter := 0; iter < maxIter; iter++ {
 		lastIter = iter
+		// A Newton iteration costs a dense Cholesky (O(m³)); polling the
+		// context here bounds abandonment latency to one factorisation.
+		if ip.opt.Ctx != nil {
+			if err := ip.opt.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// Residuals.
 		ip.residuals(x, y, s, rp, rd)
 		mu := dot(x, s) / float64(n)

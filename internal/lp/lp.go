@@ -29,6 +29,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -142,6 +143,10 @@ const (
 	Infeasible
 	Unbounded
 	IterationLimit
+	// Cancelled is internal to the pivot loop: a solve abandoned via
+	// Options.Ctx surfaces to callers as the context's error, never as a
+	// Solution with this status.
+	Cancelled
 )
 
 // String implements fmt.Stringer.
@@ -155,6 +160,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case IterationLimit:
 		return "iteration-limit"
+	case Cancelled:
+		return "cancelled"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -184,6 +191,11 @@ type Options struct {
 	// RefactorEvery forces a recomputation of the basis inverse after
 	// this many pivots (default 120).
 	RefactorEvery int
+	// Ctx, when non-nil, lets callers abandon a solve early: Solve and
+	// SolveIPM poll it (every few simplex pivots, every IPM Newton
+	// iteration) and return Ctx.Err() as soon as it is done. Nil means
+	// run to completion.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults(m, n int) Options {
@@ -218,6 +230,11 @@ var debugLP = os.Getenv("LPDEBUG") != ""
 func Solve(p *Problem, opts Options) (*Solution, error) {
 	if len(p.constraints) == 0 {
 		return nil, ErrNoConstraints
+	}
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	sol, err := newSimplex(p, opts).solve()
 	if err != nil || sol.Status != Optimal {
@@ -451,6 +468,9 @@ func (s *simplex) solve() (*Solution, error) {
 			phase1[j] = 1
 		}
 		status := s.iterate(phase1, nil)
+		if status == Cancelled {
+			return nil, s.opt.Ctx.Err()
+		}
 		if status == IterationLimit {
 			return &Solution{Status: IterationLimit, Iterations: s.pivots}, nil
 		}
@@ -479,6 +499,9 @@ func (s *simplex) solve() (*Solution, error) {
 		banned[j] = true
 	}
 	status := s.iterate(s.cost, banned)
+	if status == Cancelled {
+		return nil, s.opt.Ctx.Err()
+	}
 
 	sol := &Solution{Status: status, Iterations: s.pivots}
 	if status != Optimal {
@@ -573,6 +596,13 @@ func (s *simplex) iterate(cost []float64, banned []bool) Status {
 	sinceImprove := 0
 
 	for s.pivots < s.opt.MaxIter {
+		// Cancellation poll: cheap relative to a pivot's O(m²) work, but
+		// still amortised over a few pivots to keep tiny LPs overhead-free.
+		if s.opt.Ctx != nil && s.pivots&31 == 0 {
+			if s.opt.Ctx.Err() != nil {
+				return Cancelled
+			}
+		}
 		obj := 0.0
 		for i, j := range s.basis {
 			if c := cost[j]; c != 0 {

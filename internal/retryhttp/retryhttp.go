@@ -1,0 +1,181 @@
+// Package retryhttp is a small retrying HTTP client for talking to
+// vlpserved. The service sheds load deliberately — 429 with Retry-After
+// past the solve-admission gate, 503 while an instance drains — so a
+// well-behaved client treats those as "come back shortly", not as
+// failures. Do retries transient failures (connection errors, 429, 503
+// and other 5xx) with capped exponential backoff and full jitter,
+// honouring the server's Retry-After when present, and respects the
+// request context throughout, including while sleeping between attempts.
+//
+// Requests with bodies are replayed via Request.GetBody, which
+// http.NewRequest populates automatically for byte readers; vlpserved's
+// POST endpoints are safe to replay because a solve is deterministic in
+// its spec digest.
+package retryhttp
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Client wraps an http.Client with retries. The zero value is usable.
+type Client struct {
+	// HTTP is the underlying client (default http.DefaultClient).
+	HTTP *http.Client
+	// MaxAttempts bounds total tries including the first (default 4).
+	MaxAttempts int
+	// BaseDelay is the first backoff step (default 100ms); subsequent
+	// steps double, capped at MaxDelay (default 5s). The actual sleep is
+	// drawn uniformly from (0, step] — "full jitter" — so a burst of
+	// rejected clients does not re-arrive in lockstep.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) attempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 4
+}
+
+// jitter draws a uniform sleep from (0, step].
+func (c *Client) jitter(step time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return time.Duration(c.rng.Int63n(int64(step))) + 1
+}
+
+// retryable reports whether a response status is worth another attempt:
+// explicit backpressure and drain signals, plus any other 5xx.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests ||
+		status == http.StatusServiceUnavailable ||
+		status >= 500
+}
+
+// retryAfter parses a Retry-After header (delta-seconds or HTTP-date);
+// ok is false when absent or unparseable.
+func retryAfter(resp *http.Response) (time.Duration, bool) {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second, true
+	}
+	if when, err := http.ParseTime(v); err == nil {
+		if d := time.Until(when); d > 0 {
+			return d, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// Do sends req, retrying transient failures until an attempt succeeds,
+// the attempt budget is spent, or the request context is done. On
+// success the caller owns resp.Body as usual; on a final retryable
+// status the last response is returned (body open) with a nil error so
+// the caller can inspect it.
+func (c *Client) Do(req *http.Request) (*http.Response, error) {
+	if req.Body != nil && req.GetBody == nil {
+		return nil, fmt.Errorf("retryhttp: request body is not replayable (nil GetBody)")
+	}
+	base := c.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxDelay := c.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 5 * time.Second
+	}
+
+	var lastErr error
+	var resp *http.Response
+	step := base
+	for attempt := 0; attempt < c.attempts(); attempt++ {
+		if attempt > 0 {
+			// Rewind the body for the replay.
+			if req.GetBody != nil {
+				body, err := req.GetBody()
+				if err != nil {
+					return nil, fmt.Errorf("retryhttp: rewinding request body: %w", err)
+				}
+				req.Body = body
+			}
+			wait := c.jitter(step)
+			if resp != nil {
+				if d, ok := retryAfter(resp); ok {
+					// The server knows its own drain/backpressure horizon;
+					// jitter only on top of very short hints.
+					if d > wait {
+						wait = d
+					}
+				}
+				resp.Body.Close()
+			}
+			if step *= 2; step > maxDelay {
+				step = maxDelay
+			}
+			if err := sleep(req.Context(), wait); err != nil {
+				return nil, err
+			}
+		}
+
+		var err error
+		resp, err = c.httpClient().Do(req)
+		if err != nil {
+			// Context errors are final; transport errors are retried.
+			if ctxErr := req.Context().Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			lastErr, resp = err, nil
+			continue
+		}
+		if !retryable(resp.StatusCode) {
+			return resp, nil
+		}
+		lastErr = fmt.Errorf("retryhttp: server answered %s", resp.Status)
+	}
+	if resp != nil {
+		// Out of attempts on a retryable status: hand the caller the last
+		// response rather than discarding what the server said.
+		return resp, nil
+	}
+	return nil, fmt.Errorf("retryhttp: %d attempts failed, last error: %w", c.attempts(), lastErr)
+}
+
+// sleep waits for d or until ctx is done, whichever is first.
+func sleep(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

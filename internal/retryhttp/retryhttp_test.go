@@ -1,0 +1,150 @@
+package retryhttp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRetriesBackpressureThenSucceeds(t *testing.T) {
+	var hits atomic.Int32
+	var bodies atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		if string(b) == "payload" {
+			bodies.Add(1)
+		}
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	req, err := http.NewRequest(http.MethodPost, ts.URL, bytes.NewReader([]byte("payload")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 after retries", resp.StatusCode)
+	}
+	if hits.Load() != 3 {
+		t.Errorf("server saw %d attempts, want 3 (two 429s then success)", hits.Load())
+	}
+	// GetBody rewind: every attempt must carry the full payload.
+	if bodies.Load() != 3 {
+		t.Errorf("server saw the payload on %d/3 attempts", bodies.Load())
+	}
+}
+
+func TestHonoursRetryAfter(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL, nil)
+	start := time.Now()
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	// The hinted 1s dominates the millisecond backoff schedule.
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Errorf("retried after %v, want the server's 1s Retry-After honoured", elapsed)
+	}
+}
+
+func TestExhaustedAttemptsReturnLastResponse(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "still busy", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := &Client{MaxAttempts: 3, BaseDelay: time.Millisecond}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL, nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want the final 429 surfaced", resp.StatusCode)
+	}
+}
+
+func TestNoRetryOnClientError(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseDelay: time.Millisecond}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL, nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 1 {
+		t.Errorf("a 400 was retried %d times; client errors are final", hits.Load())
+	}
+}
+
+func TestContextCancelsBackoffSleep(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	c := &Client{BaseDelay: 10 * time.Second, MaxDelay: 10 * time.Second}
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	start := time.Now()
+	_, err := c.Do(req)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded from the backoff sleep", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Do slept %v past its context", elapsed)
+	}
+}
+
+func TestRejectsUnreplayableBody(t *testing.T) {
+	c := &Client{}
+	req, _ := http.NewRequest(http.MethodPost, "http://example.invalid", nil)
+	req.Body = io.NopCloser(strings.NewReader("one-shot"))
+	req.GetBody = nil
+	if _, err := c.Do(req); err == nil {
+		t.Fatal("accepted a request whose body cannot be replayed")
+	}
+}

@@ -113,6 +113,24 @@ func (s *SolveSpec) Digest() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// Quality tiers of a served mechanism, carried on every solve and
+// obfuscate response. The privacy guarantee is identical at every tier —
+// each served mechanism satisfies the full (ε, r)-Geo-I constraint set —
+// only the quality loss (ETDD) degrades down the ladder.
+const (
+	// QualityOptimal: the column-generation solve completed as
+	// configured (within its deadline and stop criteria).
+	QualityOptimal = "optimal"
+	// QualityIncumbent: the solve was interrupted (deadline, client
+	// abandonment or shutdown drain) and the best incumbent of the
+	// interrupted run was repaired to exact feasibility and served.
+	QualityIncumbent = "incumbent"
+	// QualityFallback: the solver failed outright (error, panic or
+	// cancellation before a first incumbent existed) and the closed-form
+	// ε/2 exponential mechanism is served instead.
+	QualityFallback = "fallback"
+)
+
 // Loc is an on-network location in the public road/from-start
 // convention: the Road-th directed edge (insertion order) at travel
 // distance FromStart from its starting connection.
@@ -131,6 +149,10 @@ type SolveResponse struct {
 	// SolveMs is the wall time of the cold solve that produced the cached
 	// mechanism (0 reported only if the server predates the field).
 	SolveMs float64 `json:"solve_ms"`
+	// Quality is the serving tier of the mechanism (QualityOptimal,
+	// QualityIncumbent or QualityFallback); empty only from a server
+	// that predates the degradation ladder.
+	Quality string `json:"quality,omitempty"`
 }
 
 // ObfuscateRequest asks POST /obfuscate for obfuscated replacements of a
@@ -143,8 +165,11 @@ type ObfuscateRequest struct {
 
 // ObfuscateResponse carries the obfuscated batch in input order.
 type ObfuscateResponse struct {
-	Key       string `json:"key"`
-	Cached    bool   `json:"cached"`
+	Key    string `json:"key"`
+	Cached bool   `json:"cached"`
+	// Quality is the serving tier of the mechanism that produced the
+	// batch; see the Quality constants.
+	Quality   string `json:"quality,omitempty"`
 	Locations []Loc  `json:"locations"`
 }
 

@@ -65,7 +65,7 @@ func TestSingleflightSharesOneCall(t *testing.T) {
 	g := newGroup()
 	var calls atomic.Int64
 	release := make(chan struct{})
-	fn := func() (*entry, error) {
+	fn := func(context.Context) (*entry, error) {
 		calls.Add(1)
 		<-release
 		return &entry{key: "x"}, nil
@@ -74,7 +74,7 @@ func TestSingleflightSharesOneCall(t *testing.T) {
 	// Leader first, so the flight is registered before any follower runs.
 	results := make(chan *entry, 8)
 	collect := func() {
-		e, err := g.do(context.Background(), "x", fn)
+		e, err := g.do(context.Background(), "x", context.Background(), 0, fn)
 		if err != nil {
 			t.Error(err)
 		}
@@ -116,7 +116,7 @@ func TestSingleflightFollowerHonoursContext(t *testing.T) {
 	release := make(chan struct{})
 	leaderDone := make(chan struct{})
 	go func() {
-		_, _ = g.do(context.Background(), "k", func() (*entry, error) {
+		_, _ = g.do(context.Background(), "k", context.Background(), 0, func(context.Context) (*entry, error) {
 			<-release
 			return &entry{key: "k"}, nil
 		})
@@ -131,7 +131,7 @@ func TestSingleflightFollowerHonoursContext(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
-	if _, err := g.do(ctx, "k", nil); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := g.do(ctx, "k", context.Background(), 0, nil); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("follower got %v, want deadline exceeded", err)
 	}
 	close(release)
@@ -141,7 +141,7 @@ func TestSingleflightFollowerHonoursContext(t *testing.T) {
 
 func TestHandlerValidation(t *testing.T) {
 	srv := New(Config{})
-	srv.solveFn = func(spec *serial.SolveSpec) (*entry, error) { return stubEntry(t), nil }
+	srv.solveFn = func(ctx context.Context, spec *serial.SolveSpec) (*entry, error) { return stubEntry(t), nil }
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

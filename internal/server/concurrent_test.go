@@ -36,6 +36,7 @@ func stubEntry(tb testing.TB) *entry {
 		prob:     pr,
 		mech:     m,
 		etdd:     pr.ETDD(m),
+		tier:     serial.QualityOptimal,
 		sampleMu: newChanMutex(),
 		rng:      rand.New(rand.NewSource(2)),
 	}
@@ -64,7 +65,7 @@ type solveCounter struct {
 }
 
 func (c *solveCounter) install(s *Server) {
-	s.solveFn = func(spec *serial.SolveSpec) (*entry, error) {
+	s.solveFn = func(ctx context.Context, spec *serial.SolveSpec) (*entry, error) {
 		c.mu.Lock()
 		c.counts[spec.Digest()]++
 		c.mu.Unlock()
@@ -230,7 +231,7 @@ func TestConcurrentClients(t *testing.T) {
 		srv := New(Config{CacheSize: 8, MaxSolves: 2})
 		solveStarted := make(chan struct{})
 		release := make(chan struct{})
-		srv.solveFn = func(spec *serial.SolveSpec) (*entry, error) {
+		srv.solveFn = func(ctx context.Context, spec *serial.SolveSpec) (*entry, error) {
 			close(solveStarted)
 			<-release
 			return stubEntry(t), nil

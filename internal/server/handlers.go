@@ -23,13 +23,18 @@ const (
 //	POST /solve      solve (or fetch) the mechanism for a spec
 //	POST /obfuscate  obfuscate a batch of locations under a spec
 //	GET  /stats      counters + per-mechanism cache contents
-//	GET  /healthz    liveness probe
+//	GET  /healthz    readiness probe: 503 once shutdown begins, so load
+//	                 balancers stop routing to a draining instance
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /solve", s.handleSolve)
 	mux.HandleFunc("POST /obfuscate", s.handleObfuscate)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
 		w.WriteHeader(http.StatusOK)
 	})
 	return mux
@@ -56,6 +61,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		ETDD:    e.etdd,
 		Bound:   e.bound,
 		SolveMs: float64(e.solveTime.Microseconds()) / 1000,
+		Quality: e.tier,
 	})
 }
 
@@ -99,6 +105,7 @@ func (s *Server) handleObfuscate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, serial.ObfuscateResponse{
 		Key:       e.key,
 		Cached:    cached,
+		Quality:   e.tier,
 		Locations: out,
 	})
 }

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/serial"
+)
+
+// ladderSpec is a small real spec the ladder tests solve end to end
+// (the ladder's rungs only exist in the real solve path, so these tests
+// do not stub solveFn).
+func ladderSpec(t *testing.T) *serial.SolveSpec {
+	t.Helper()
+	return testSpecs(t, 1)[0]
+}
+
+// assertServable asserts the serving invariant that holds on every
+// ladder rung: the mechanism satisfies the full Geo-I constraint set and
+// is row-stochastic within the advertised 1e-9.
+func assertServable(t *testing.T, e *entry) {
+	t.Helper()
+	if e == nil || e.mech == nil {
+		t.Fatal("no servable entry")
+	}
+	if v := e.prob.GeoIViolation(e.mech); v > 1e-9 {
+		t.Errorf("tier %q mechanism violates Geo-I by %g", e.tier, v)
+	}
+	if v := e.mech.RowStochasticError(); v > 1e-9 {
+		t.Errorf("tier %q mechanism row-stochastic error %g", e.tier, v)
+	}
+}
+
+// TestLadderOptimal: an unconstrained solve lands on the top rung.
+func TestLadderOptimal(t *testing.T) {
+	srv := New(Config{DisableUpgrade: true})
+	e, err := srv.solve(context.Background(), ladderSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.tier != serial.QualityOptimal {
+		t.Fatalf("tier %q, want optimal", e.tier)
+	}
+	assertServable(t, e)
+}
+
+// TestLadderIncumbentOnCancel: cancellation after a completed master
+// round degrades to the interrupted run's incumbent, never to an error.
+func TestLadderIncumbentOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv := New(Config{
+		DisableUpgrade: true,
+		CG: core.CGOptions{
+			Xi: -1e-9, RelGap: -1, // force many rounds so the cancel lands mid-run
+			OnIteration: func(iter int, _ core.CGIteration) {
+				if iter == 0 {
+					cancel()
+				}
+			},
+		},
+	})
+	e, err := srv.solve(ctx, ladderSpec(t))
+	if err != nil {
+		t.Fatalf("cancelled solve must degrade, got error %v", err)
+	}
+	if e.tier != serial.QualityIncumbent {
+		t.Fatalf("tier %q, want incumbent", e.tier)
+	}
+	assertServable(t, e)
+	if snap := srv.Stats(); snap.CancelledSolves != 1 {
+		t.Errorf("cancelled_solves = %d, want 1", snap.CancelledSolves)
+	}
+}
+
+// TestLadderFallbackOnPreCancel: cancellation before any master round
+// leaves no incumbent; the bottom rung serves the exponential mechanism.
+func TestLadderFallbackOnPreCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	srv := New(Config{DisableUpgrade: true})
+	e, err := srv.solve(ctx, ladderSpec(t))
+	if err != nil {
+		t.Fatalf("pre-cancelled solve must degrade, got error %v", err)
+	}
+	if e.tier != serial.QualityFallback {
+		t.Fatalf("tier %q, want fallback", e.tier)
+	}
+	if e.bound != 0 {
+		t.Errorf("fallback entry carries a dual bound %v", e.bound)
+	}
+	assertServable(t, e)
+	if snap := srv.Stats(); snap.CancelledSolves != 1 {
+		t.Errorf("cancelled_solves = %d, want 1", snap.CancelledSolves)
+	}
+}
+
+// TestLadderFallbackOnPanic: a solver panic is recovered into the bottom
+// rung and counted.
+func TestLadderFallbackOnPanic(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Set(core.FaultSiteCGMaster, faultinject.Fault{Panic: "chaos", Times: 1})
+	srv := New(Config{DisableUpgrade: true})
+	e, err := srv.solve(context.Background(), ladderSpec(t))
+	if err != nil {
+		t.Fatalf("panicked solve must degrade, got error %v", err)
+	}
+	if e.tier != serial.QualityFallback {
+		t.Fatalf("tier %q, want fallback", e.tier)
+	}
+	assertServable(t, e)
+	if snap := srv.Stats(); snap.PanicRecoveries != 1 {
+		t.Errorf("panic_recoveries = %d, want 1", snap.PanicRecoveries)
+	}
+}
+
+// TestLadderFallbackOnSolverError: a plain solver error (no panic, no
+// cancellation) also degrades rather than failing the request.
+func TestLadderFallbackOnSolverError(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Set(core.FaultSiteCGMaster, faultinject.Fault{Err: errors.New("chaos"), Times: 1})
+	srv := New(Config{DisableUpgrade: true})
+	e, err := srv.solve(context.Background(), ladderSpec(t))
+	if err != nil {
+		t.Fatalf("failed solve must degrade, got error %v", err)
+	}
+	if e.tier != serial.QualityFallback {
+		t.Fatalf("tier %q, want fallback", e.tier)
+	}
+	assertServable(t, e)
+}
+
+// TestLadderSolveDeadline: the per-solve deadline converts a slow solve
+// into a degraded entry instead of an error. A long injected delay at
+// the pricing site stalls the solve well past the deadline after the
+// first master round has completed.
+func TestLadderSolveDeadline(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Set(core.FaultSiteCGPricing, faultinject.Fault{Delay: time.Second, Times: 1})
+	srv := New(Config{DisableUpgrade: true, SolveDeadline: 300 * time.Millisecond})
+	start := time.Now()
+	e, _, err := srv.mechanismFor(context.Background(), ladderSpec(t))
+	if err != nil {
+		t.Fatalf("deadline-bound solve must degrade, got error %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("solve took %v despite the deadline", elapsed)
+	}
+	if e.tier == serial.QualityOptimal {
+		t.Fatal("solve stalled past its deadline still claims the optimal tier")
+	}
+	assertServable(t, e)
+	if snap := srv.Stats(); snap.CancelledSolves != 1 {
+		t.Errorf("cancelled_solves = %d, want 1", snap.CancelledSolves)
+	}
+}
+
+// TestExactSpecKeepsConfiguredLimits regression-tests the option-merge
+// fix: Exact must tighten only the stop criteria, not discard the rest
+// of the configured CG options (a prior version replaced the whole
+// struct, losing iteration caps and observers).
+func TestExactSpecKeepsConfiguredLimits(t *testing.T) {
+	observed := 0
+	srv := New(Config{
+		DisableUpgrade: true,
+		CG: core.CGOptions{
+			MaxIterations: 1,
+			OnIteration:   func(int, core.CGIteration) { observed++ },
+		},
+	})
+	spec := ladderSpec(t)
+	spec.Exact = true
+	if _, err := srv.solve(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if observed == 0 {
+		t.Error("configured OnIteration observer was discarded for an exact spec")
+	}
+	if observed > 1 {
+		t.Errorf("configured MaxIterations=1 was discarded for an exact spec: %d rounds ran", observed)
+	}
+}
+
+// TestUpgradePromotesDegradedEntry: a degraded cache entry is re-solved
+// in the background and replaced by the optimal-tier result.
+func TestUpgradePromotesDegradedEntry(t *testing.T) {
+	srv := New(Config{})
+	degradedFirst := true
+	real := srv.solveFn
+	srv.solveFn = func(ctx context.Context, spec *serial.SolveSpec) (*entry, error) {
+		if degradedFirst {
+			degradedFirst = false
+			cancelled, cancel := context.WithCancel(ctx)
+			cancel() // force the bottom rung for the first (foreground) solve
+			return real(cancelled, spec)
+		}
+		return real(ctx, spec)
+	}
+
+	spec := ladderSpec(t)
+	e, _, err := srv.mechanismFor(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.tier != serial.QualityFallback {
+		t.Fatalf("first solve tier %q, want fallback", e.tier)
+	}
+
+	// The background upgrade re-solves without the sabotage and promotes.
+	waitFor(t, 10*time.Second, func() bool {
+		cur, ok := srv.cache.get(spec.Digest())
+		return ok && cur.tier == serial.QualityOptimal
+	})
+	if snap := srv.Stats(); snap.Upgrades != 1 {
+		t.Errorf("upgrades = %d, want 1", snap.Upgrades)
+	}
+	cur, _ := srv.cache.get(spec.Digest())
+	assertServable(t, cur)
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShutdownExpiredDrainCancelsSolves: when the drain budget runs out,
+// Shutdown cancels the remaining detached solves outright and still
+// returns only after they have stopped.
+func TestShutdownExpiredDrainCancelsSolves(t *testing.T) {
+	srv := New(Config{})
+	solveStarted := make(chan struct{})
+	srv.solveFn = func(ctx context.Context, spec *serial.SolveSpec) (*entry, error) {
+		close(solveStarted)
+		<-ctx.Done() // a solve that never finishes on its own
+		return nil, ctx.Err()
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := srv.mechanismFor(context.Background(), ladderSpec(t))
+		errc <- err
+	}()
+	<-solveStarted
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := srv.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Shutdown took %v after its drain budget expired", elapsed)
+	}
+	if err := <-errc; err == nil {
+		t.Fatal("the cancelled solve's waiter got a nil error")
+	}
+}

@@ -19,14 +19,29 @@
 //     constraint set and repaired if solver tolerances left a residue
 //     (core.Problem.EnforceGeoI) — the service never hands out samples
 //     from a mechanism that violates the guarantee;
-//   - Shutdown drains in-flight solves so their results are not lost
-//     mid-computation.
+//   - Shutdown drains in-flight solves; past the drain budget it cancels
+//     them and the ladder banks their incumbents.
+//
+// Failure posture — the degradation ladder. A solve is never
+// all-or-nothing: when full column generation cannot complete (per-solve
+// deadline, client abandonment, shutdown drain, numeric panic or solver
+// error) the server degrades along
+//
+//	optimal CG → best incumbent of the interrupted run → ε/2 exponential mechanism
+//
+// with every rung repaired to exact Geo-I feasibility before serving.
+// The privacy guarantee is identical on every rung; only ETDD degrades.
+// Entries carry their quality tier (serial.Quality*), degraded entries
+// are re-solved in the background and promoted when the full solve
+// succeeds, and /stats exposes degraded_serves, cancelled_solves,
+// panic_recoveries and upgrades.
 package server
 
 import (
 	"context"
 	"errors"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -48,9 +63,19 @@ type Config struct {
 	// spec needs a solve past this limit receive 429 (default 2).
 	MaxSolves int
 	// SolveWait caps how long a request waits for a cold solve before
-	// giving up with 504; the solve itself keeps running and lands in the
-	// cache (default 2 minutes).
+	// giving up with 504; the solve itself keeps running (until its own
+	// deadline or abandonment) and its result lands in the cache
+	// (default 2 minutes).
 	SolveWait time.Duration
+	// SolveDeadline caps the wall time of one column-generation solve.
+	// A solve that outlives it is cancelled and degrades to the best
+	// incumbent (or the exponential fallback) instead of erroring.
+	// Zero means no per-solve deadline: only abandonment and shutdown
+	// cancel a solve.
+	SolveDeadline time.Duration
+	// DisableUpgrade turns off the background re-solve that promotes
+	// degraded cache entries to the optimal tier.
+	DisableUpgrade bool
 	// Seed is the base seed for per-mechanism sampler RNGs; each solved
 	// mechanism gets Seed+n for the n-th solve, so a fixed Seed makes a
 	// single-threaded request sequence reproducible (default 1).
@@ -74,7 +99,10 @@ func (c Config) withDefaults() Config {
 		c.Seed = 1
 	}
 	if c.CG.Xi == 0 && c.CG.RelGap == 0 {
-		c.CG = core.CGOptions{Xi: -0.05, RelGap: 0.02}
+		// Default only the stop criteria; any other configured CG fields
+		// (iteration caps, workers, observers) are kept.
+		c.CG.Xi = -0.05
+		c.CG.RelGap = 0.02
 	}
 	return c
 }
@@ -86,6 +114,7 @@ type entry struct {
 	mech      *core.Mechanism
 	etdd      float64
 	bound     float64
+	tier      string // serial.Quality* — the degradation rung served
 	solveTime time.Duration
 	served    atomic.Int64
 
@@ -144,9 +173,18 @@ type Server struct {
 	closed atomic.Bool
 	seq    atomic.Int64 // per-solve sampler seed offset
 
+	// ctx is the root of every solve context; cancel fires when a
+	// shutdown drain budget expires and tears down remaining solves.
+	ctx    context.Context
+	cancel context.CancelFunc
+	// bg tracks background upgrade re-solves; upgrading dedupes them
+	// per cache key.
+	bg        sync.WaitGroup
+	upgrading sync.Map
+
 	// solveFn builds the entry for a validated spec; tests substitute a
 	// stub to count and pace solves deterministically.
-	solveFn func(spec *serial.SolveSpec) (*entry, error)
+	solveFn func(ctx context.Context, spec *serial.SolveSpec) (*entry, error)
 }
 
 // New returns a ready-to-serve Server.
@@ -159,6 +197,7 @@ func New(cfg Config) *Server {
 		slots:  make(chan struct{}, cfg.MaxSolves),
 		stats:  &stats{},
 	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.solveFn = s.solve
 	return s
 }
@@ -170,15 +209,18 @@ func (s *Server) mechanismFor(ctx context.Context, spec *serial.SolveSpec) (*ent
 	key := spec.Digest()
 	if e, ok := s.cache.get(key); ok {
 		s.stats.hit()
+		if e.tier != serial.QualityOptimal {
+			s.stats.degraded()
+		}
 		return e, true, nil
 	}
 	s.stats.miss()
 	if s.closed.Load() {
 		return nil, false, ErrClosed
 	}
-	ctx, cancel := context.WithTimeout(ctx, s.cfg.SolveWait)
+	waitCtx, cancel := context.WithTimeout(ctx, s.cfg.SolveWait)
 	defer cancel()
-	e, err := s.flight.do(ctx, key, func() (*entry, error) {
+	e, err := s.flight.do(waitCtx, key, s.ctx, s.cfg.SolveDeadline, func(solveCtx context.Context) (*entry, error) {
 		// Double-check under singleflight: a previous flight may have
 		// populated the cache between our miss and becoming leader.
 		if e, ok := s.cache.get(key); ok {
@@ -195,7 +237,7 @@ func (s *Server) mechanismFor(ctx context.Context, spec *serial.SolveSpec) (*ent
 		}
 		defer func() { <-s.slots }()
 		start := time.Now()
-		e, err := s.solveFn(spec)
+		e, err := s.solveFn(solveCtx, spec)
 		if err != nil {
 			s.stats.solveFailed()
 			return nil, err
@@ -204,18 +246,25 @@ func (s *Server) mechanismFor(ctx context.Context, spec *serial.SolveSpec) (*ent
 		e.solveTime = time.Since(start)
 		evicted := s.cache.add(key, e)
 		s.stats.solved(e.solveTime, evicted)
+		if e.tier != serial.QualityOptimal {
+			s.scheduleUpgrade(key, spec)
+		}
 		return e, nil
 	})
 	if err != nil {
 		return nil, false, err
 	}
+	if e.tier != serial.QualityOptimal {
+		s.stats.degraded()
+	}
 	return e, false, nil
 }
 
-// solve runs the full offline pipeline for a validated spec:
-// discretise, assemble D-VLP, solve by column generation, then enforce
-// the Geo-I invariant on the result.
-func (s *Server) solve(spec *serial.SolveSpec) (*entry, error) {
+// buildProblem runs the offline pipeline up to the assembled D-VLP
+// instance: discretise the network and build costs plus reduced Geo-I
+// constraints. Errors here are spec-level (422): no fallback mechanism
+// can exist for a spec whose problem cannot even be assembled.
+func (s *Server) buildProblem(spec *serial.SolveSpec) (*core.Problem, error) {
 	g, err := spec.Network.ToGraph()
 	if err != nil {
 		return nil, err
@@ -231,52 +280,152 @@ func (s *Server) solve(spec *serial.SolveSpec) (*entry, error) {
 	if len(spec.TaskPrior) > 0 {
 		priorQ = spec.TaskPrior
 	}
-	pr, err := core.NewProblem(part, core.Config{
+	return core.NewProblem(part, core.Config{
 		Epsilon: spec.Epsilon,
 		Radius:  spec.Radius,
 		PriorP:  priorP,
 		PriorQ:  priorQ,
 	})
+}
+
+// solve runs the full offline pipeline for a validated spec and applies
+// the degradation ladder: an optimal column-generation solve when it
+// completes within its context, else the interrupted run's best
+// incumbent, else the closed-form exponential mechanism. Every rung is
+// repaired to exact Geo-I feasibility before it becomes servable, so
+// the privacy guarantee never degrades — only ETDD does.
+func (s *Server) solve(ctx context.Context, spec *serial.SolveSpec) (*entry, error) {
+	pr, err := s.buildProblem(spec)
 	if err != nil {
 		return nil, err
 	}
 	opts := s.cfg.CG
 	if spec.Exact {
-		opts = core.CGOptions{Xi: 0}
+		// Exact tightens only the stop criteria; the configured
+		// iteration/worker/LP limits still apply. (A previous version
+		// replaced the whole option set here, silently unbounding exact
+		// solves.)
+		opts.Xi = 0
+		opts.RelGap = 0
 	}
-	res, err := core.SolveCG(pr, opts)
-	if err != nil {
-		return nil, err
+	res, solveErr := core.SolveCGCtx(ctx, pr, opts)
+
+	tier := serial.QualityOptimal
+	var mech *core.Mechanism
+	var bound float64
+	switch {
+	case solveErr == nil:
+		mech, bound = res.Mechanism, res.LowerBound
+	case isCancellation(solveErr):
+		s.stats.cancelled()
+		if res != nil && res.Mechanism != nil {
+			tier = serial.QualityIncumbent
+			mech, bound = res.Mechanism, res.LowerBound
+		} else {
+			// Cancelled before a first master round completed: no
+			// incumbent exists yet.
+			tier = serial.QualityFallback
+		}
+	default:
+		var pe *core.PanicError
+		if errors.As(solveErr, &pe) {
+			s.stats.panicRecovered()
+		}
+		tier = serial.QualityFallback
 	}
-	mech, etdd, err := pr.EnforceGeoI(res.Mechanism, geoITol)
-	if err != nil {
-		return nil, err
+
+	var served *core.Mechanism
+	var etdd float64
+	if mech != nil {
+		served, etdd, err = pr.EnforceGeoI(mech, geoITol)
+		if err != nil {
+			// Repair failure is one more rung down, not a request error.
+			served, tier = nil, serial.QualityFallback
+		}
+	}
+	if served == nil {
+		// Bottom rung: the ε/2 exponential mechanism is strictly
+		// feasible by construction; EnforceGeoI verifies that once more
+		// before the entry becomes servable.
+		served, etdd, err = pr.EnforceGeoI(pr.ExponentialMechanism(), geoITol)
+		if err != nil {
+			return nil, err
+		}
+		bound = 0
 	}
 	return &entry{
 		prob:     pr,
-		mech:     mech,
+		mech:     served,
 		etdd:     etdd,
-		bound:    res.LowerBound,
+		bound:    bound,
+		tier:     tier,
 		sampleMu: newChanMutex(),
 		rng:      rand.New(rand.NewSource(s.cfg.Seed + s.seq.Add(1))),
 	}, nil
 }
 
-// Shutdown stops admitting new solves and drains the in-flight ones
-// (their results still land in the cache for a possible restart-free
-// resume). It returns ctx.Err() if the drain outlives the context; the
-// solves keep running regardless.
+// isCancellation reports whether err is a context cancellation or
+// deadline expiry (possibly wrapped).
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// scheduleUpgrade starts (at most one per key) a background re-solve of
+// a spec whose cached entry is degraded, promoting the entry when the
+// unrestricted solve reaches the optimal tier. The upgrade runs on the
+// server's root context only — no per-solve deadline and no waiting
+// client to abandon it — so its sole interruption is shutdown.
+func (s *Server) scheduleUpgrade(key string, spec *serial.SolveSpec) {
+	if s.cfg.DisableUpgrade || s.closed.Load() {
+		return
+	}
+	if _, loaded := s.upgrading.LoadOrStore(key, struct{}{}); loaded {
+		return
+	}
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		defer s.upgrading.Delete(key)
+		start := time.Now()
+		e, err := s.solveFn(s.ctx, spec)
+		if err != nil || e.tier != serial.QualityOptimal {
+			return // keep serving the degraded entry
+		}
+		e.key = key
+		e.solveTime = time.Since(start)
+		s.cache.add(key, e)
+		s.stats.upgraded()
+	}()
+}
+
+// BeginShutdown marks the server as draining: new work (and /healthz,
+// so load balancers stop routing here) answers 503 while in-flight
+// solves continue. Call it before draining the HTTP listener.
+func (s *Server) BeginShutdown() { s.closed.Store(true) }
+
+// Draining reports whether shutdown has begun.
+func (s *Server) Draining() bool { return s.closed.Load() }
+
+// Shutdown stops admitting new solves and drains the in-flight and
+// background ones (their results still land in the cache for a possible
+// restart-free resume). If the drain budget expires first, every
+// remaining solve is cancelled outright — the degradation ladder banks
+// each one's incumbent within roughly one master round — and Shutdown
+// returns ctx.Err() once they have stopped.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.closed.Store(true)
+	s.BeginShutdown()
 	done := make(chan struct{})
 	go func() {
 		s.flight.wait()
+		s.bg.Wait()
 		close(done)
 	}()
 	select {
 	case <-done:
 		return nil
 	case <-ctx.Done():
+		s.cancel()
+		<-done
 		return ctx.Err()
 	}
 }

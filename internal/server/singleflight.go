@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // call is one in-flight solve shared by every request for its key.
@@ -11,15 +12,24 @@ type call struct {
 	done chan struct{}
 	val  *entry
 	err  error
+	// cancel aborts the solve's context; fired by the last departing
+	// waiter (abandonment), by the per-solve deadline, or by shutdown
+	// drain expiry through the base context.
+	cancel  context.CancelFunc
+	waiters int // guarded by group.mu
 }
 
 // group deduplicates concurrent solves per key, singleflight-style: the
-// first request for a key becomes the leader and runs the solve in its
+// first request for a key becomes the leader and starts the solve in its
 // own goroutine; followers block on the shared result (or their own
-// context). The solve goroutine is detached from the leader's request so
-// a caller that times out does not abort work other callers — and the
-// cache — still want; graceful shutdown waits for these goroutines via
-// wait.
+// context). The solve goroutine is detached from any single request —
+// one caller timing out does not abort work other callers still want —
+// but it is not unkillable: its context is derived from the server's
+// base context plus an optional per-solve deadline, and it is cancelled
+// outright when the last waiter abandons the key. The solver's
+// degradation ladder turns that cancellation into a served incumbent or
+// fallback rather than a lost solve. Graceful shutdown waits for these
+// goroutines via wait.
 type group struct {
 	mu sync.Mutex
 	m  map[string]*call
@@ -29,34 +39,58 @@ type group struct {
 func newGroup() *group { return &group{m: make(map[string]*call)} }
 
 // do returns the result of fn for key, running fn at most once across
-// all concurrent callers of the same key. The key is forgotten once fn
-// returns, so a failed solve (for example a backpressure rejection) can
-// be retried by later requests.
-func (g *group) do(ctx context.Context, key string, fn func() (*entry, error)) (*entry, error) {
+// all concurrent callers of the same key. fn receives a context derived
+// from base (cancelled additionally after timeout, if positive, and when
+// the last waiter departs). The key is forgotten once fn returns, so a
+// failed solve (for example a backpressure rejection) can be retried by
+// later requests.
+func (g *group) do(ctx context.Context, key string, base context.Context, timeout time.Duration, fn func(context.Context) (*entry, error)) (*entry, error) {
 	g.mu.Lock()
-	if c, ok := g.m[key]; ok {
-		g.mu.Unlock()
-		return awaitCall(ctx, c)
+	c, ok := g.m[key]
+	if !ok {
+		solveCtx, cancel := context.WithCancel(base)
+		if timeout > 0 {
+			solveCtx, cancel = context.WithTimeout(base, timeout)
+		}
+		c = &call{done: make(chan struct{}), cancel: cancel}
+		g.m[key] = c
+		g.wg.Add(1)
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					c.val, c.err = nil, fmt.Errorf("server: solve panicked: %v", r)
+				}
+				g.mu.Lock()
+				delete(g.m, key)
+				g.mu.Unlock()
+				close(c.done)
+				cancel()
+				g.wg.Done()
+			}()
+			c.val, c.err = fn(solveCtx)
+		}()
 	}
-	c := &call{done: make(chan struct{})}
-	g.m[key] = c
-	g.wg.Add(1)
+	c.waiters++
 	g.mu.Unlock()
 
-	go func() {
-		defer func() {
-			if r := recover(); r != nil {
-				c.val, c.err = nil, fmt.Errorf("server: solve panicked: %v", r)
-			}
-			g.mu.Lock()
-			delete(g.m, key)
-			g.mu.Unlock()
-			close(c.done)
-			g.wg.Done()
-		}()
-		c.val, c.err = fn()
-	}()
-	return awaitCall(ctx, c)
+	val, err := awaitCall(ctx, c)
+
+	g.mu.Lock()
+	c.waiters--
+	abandoned := c.waiters == 0
+	g.mu.Unlock()
+	if abandoned {
+		select {
+		case <-c.done:
+			// Solve already finished; nothing to abandon.
+		default:
+			// Every caller has left: stop burning CPU on an answer nobody
+			// is waiting for. The interrupted solve still produces (and
+			// caches) its best incumbent via the degradation ladder.
+			c.cancel()
+		}
+	}
+	return val, err
 }
 
 func awaitCall(ctx context.Context, c *call) (*entry, error) {

@@ -15,6 +15,10 @@ type stats struct {
 	rejected   uint64 // backpressure 429s issued by the solve gate
 	evicted    uint64
 	errors     uint64 // failed solves
+	nDegraded  uint64 // serves from a non-optimal (incumbent/fallback) entry
+	nCancelled uint64 // solves that observed context cancellation/deadline
+	nPanics    uint64 // solver panics recovered into the ladder
+	nUpgrades  uint64 // degraded entries promoted by a background re-solve
 	solveTotal time.Duration
 	solveMax   time.Duration
 }
@@ -43,6 +47,30 @@ func (s *stats) solveFailed() {
 	s.mu.Unlock()
 }
 
+func (s *stats) degraded() {
+	s.mu.Lock()
+	s.nDegraded++
+	s.mu.Unlock()
+}
+
+func (s *stats) cancelled() {
+	s.mu.Lock()
+	s.nCancelled++
+	s.mu.Unlock()
+}
+
+func (s *stats) panicRecovered() {
+	s.mu.Lock()
+	s.nPanics++
+	s.mu.Unlock()
+}
+
+func (s *stats) upgraded() {
+	s.mu.Lock()
+	s.nUpgrades++
+	s.mu.Unlock()
+}
+
 func (s *stats) solved(d time.Duration, evicted int) {
 	s.mu.Lock()
 	s.solves++
@@ -61,6 +89,8 @@ type MechStats struct {
 	ETDD    float64 `json:"etdd"`
 	Bound   float64 `json:"lower_bound"`
 	SolveMs float64 `json:"solve_ms"`
+	// Quality is the entry's degradation rung (serial.Quality*).
+	Quality string `json:"quality"`
 	// Served counts locations obfuscated with this mechanism.
 	Served int64 `json:"served"`
 }
@@ -74,8 +104,17 @@ type StatsSnapshot struct {
 	Solves       uint64  `json:"solves"`
 	SolveErrors  uint64  `json:"solve_errors"`
 	Rejected     uint64  `json:"rejected"`
-	AvgSolveMs   float64 `json:"avg_solve_ms"`
-	MaxSolveMs   float64 `json:"max_solve_ms"`
+	// DegradedServes counts responses served from a non-optimal
+	// (incumbent or fallback) mechanism; CancelledSolves counts solves
+	// interrupted by deadline/abandonment/shutdown; PanicRecoveries
+	// counts solver panics converted into ladder rungs; Upgrades counts
+	// degraded entries promoted by a background re-solve.
+	DegradedServes  uint64  `json:"degraded_serves"`
+	CancelledSolves uint64  `json:"cancelled_solves"`
+	PanicRecoveries uint64  `json:"panic_recoveries"`
+	Upgrades        uint64  `json:"upgrades"`
+	AvgSolveMs      float64 `json:"avg_solve_ms"`
+	MaxSolveMs      float64 `json:"max_solve_ms"`
 	// Mechanisms lists the cached mechanisms, most recently used first,
 	// with their ETDD so operators can watch quality loss per network.
 	Mechanisms []MechStats `json:"mechanisms"`
@@ -85,13 +124,17 @@ type StatsSnapshot struct {
 func (s *stats) snapshot(cache *mechCache) StatsSnapshot {
 	s.mu.Lock()
 	snap := StatsSnapshot{
-		CacheHits:    s.hits,
-		CacheMisses:  s.misses,
-		CacheEvicted: s.evicted,
-		Solves:       s.solves,
-		SolveErrors:  s.errors,
-		Rejected:     s.rejected,
-		MaxSolveMs:   float64(s.solveMax) / float64(time.Millisecond),
+		CacheHits:       s.hits,
+		CacheMisses:     s.misses,
+		CacheEvicted:    s.evicted,
+		Solves:          s.solves,
+		SolveErrors:     s.errors,
+		Rejected:        s.rejected,
+		DegradedServes:  s.nDegraded,
+		CancelledSolves: s.nCancelled,
+		PanicRecoveries: s.nPanics,
+		Upgrades:        s.nUpgrades,
+		MaxSolveMs:      float64(s.solveMax) / float64(time.Millisecond),
 	}
 	if s.solves > 0 {
 		snap.AvgSolveMs = float64(s.solveTotal) / float64(s.solves) / float64(time.Millisecond)
@@ -108,6 +151,7 @@ func (s *stats) snapshot(cache *mechCache) StatsSnapshot {
 			ETDD:    e.etdd,
 			Bound:   e.bound,
 			SolveMs: float64(e.solveTime) / float64(time.Millisecond),
+			Quality: e.tier,
 			Served:  e.served.Load(),
 		})
 	}
