@@ -438,6 +438,64 @@ func BenchmarkAblationSeeding(b *testing.B) {
 	})
 }
 
+// --- Warm-start benches ---------------------------------------------------
+
+// cgBenchSizes are the tracked problem sizes for the warm-vs-cold solver
+// benchmarks (cmd/vlpbench runs the same set and emits BENCH_solver.json).
+var cgBenchSizes = []struct {
+	Name       string
+	Rows, Cols int
+	Delta      float64
+}{
+	{"K12", 2, 2, 0.3},
+	{"K24", 2, 3, 0.2},
+	{"K44", 3, 3, 0.15},
+}
+
+func cgBenchProblem(rows, cols int, delta float64) (*core.Problem, error) {
+	rng := rand.New(rand.NewSource(77))
+	g := roadnet.Grid(rng, roadnet.GridConfig{
+		Rows: rows, Cols: cols, Spacing: 0.3, OneWayFrac: 0.5, WeightJitter: 0.15,
+	})
+	part, err := discretize.New(g, delta)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewProblem(part, core.Config{Epsilon: 5})
+}
+
+// BenchmarkSolveCG compares the persistent warm-started pipeline (the
+// default) against the rebuild-everything baseline (ColdRestart) at the
+// tracked sizes. The acceptance bar for the warm-start work is warm ≥2×
+// over cold at the largest size, with allocations down ≥10×.
+func BenchmarkSolveCG(b *testing.B) {
+	for _, size := range cgBenchSizes {
+		pr, err := cgBenchProblem(size.Rows, size.Cols, size.Delta)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := core.CGOptions{Xi: 0, RelGap: 0.01}
+		b.Run(size.Name+"/cold", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				o := opts
+				o.ColdRestart = true
+				if _, err := core.SolveCG(pr, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(size.Name+"/warm", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveCG(pr, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Substrate micro-benches ---------------------------------------------
 
 func BenchmarkSimplexCoveringLP(b *testing.B) {

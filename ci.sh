@@ -16,6 +16,12 @@ go test -race ./...
 # race detector watching the degradation ladder's locks.
 go test -race -run 'TestChaos' ./internal/server
 
+# Allocation-regression gate: the warm-start hot paths (persistent
+# master re-solve, persistent pricing subproblems) carry AllocsPerRun
+# budgets; run them without -race, whose instrumentation changes alloc
+# counts. A failure here means a kernel started allocating per round.
+go test -count=1 -run 'Allocs' ./internal/lp ./internal/core
+
 # Fuzz smoke: ten seconds per serial decoder, enough to catch a freshly
 # introduced parsing crash without stalling the gate.
 go test -fuzz=FuzzNetworkRoundTrip -fuzztime=10s -run '^$' ./internal/serial

@@ -8,6 +8,7 @@
 //	vlpserved [-addr :8750] [-cache 16] [-solves 2] [-solve-wait 2m]
 //	          [-solve-deadline 2m] [-no-upgrade] [-seed 1]
 //	          [-xi -0.05] [-relgap 0.02]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Endpoints (JSON bodies; see internal/serial for the wire structs):
 //
@@ -30,6 +31,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -48,7 +51,24 @@ func main() {
 	xi := flag.Float64("xi", -0.05, "column-generation termination threshold ξ (≤ 0)")
 	relgap := flag.Float64("relgap", 0.02, "column-generation relative dual-gap stop")
 	drain := flag.Duration("drain", 5*time.Minute, "shutdown drain budget for in-flight solves")
+	cpuprofile := flag.String("cpuprofile", "", "profile CPU from startup until shutdown, written to this file")
+	memprofile := flag.String("memprofile", "", "write a heap/alloc profile at shutdown to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
+	}
+	defer writeMemProfile(*memprofile)
 
 	srv := server.New(server.Config{
 		CacheSize:      *cache,
@@ -90,6 +110,24 @@ func main() {
 	}
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "vlpserved: solve drain: %v\n", err)
+	}
+}
+
+// writeMemProfile dumps an allocation profile after a forced GC; it runs
+// on the graceful-shutdown path, after the drain completes.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vlpserved: memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "vlpserved: memprofile: %v\n", err)
 	}
 }
 

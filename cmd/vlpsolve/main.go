@@ -5,12 +5,15 @@
 //
 //	vlpsolve -in network.json [-eps E] [-radius R] [-delta D]
 //	         [-exact] [-xi X] [-out mech.json] [-stats]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/core"
@@ -27,11 +30,27 @@ func main() {
 	exact := flag.Bool("exact", false, "solve to optimality instead of the 2% dual gap")
 	xi := flag.Float64("xi", -0.01, "column-generation termination threshold ξ (≤ 0)")
 	stats := flag.Bool("stats", false, "print per-iteration convergence to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the solve to this file")
+	memprofile := flag.String("memprofile", "", "write a post-solve heap profile to this file")
 	flag.Parse()
 
 	if *in == "" {
 		fatalf("-in is required")
 	}
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
+	}
+	defer writeMemProfile(*memprofile)
 	f, err := os.Open(*in)
 	if err != nil {
 		fatalf("open: %v", err)
@@ -100,6 +119,24 @@ func main() {
 	}
 	if err := serial.WriteJSON(w, serial.FromMechanism(sol.Mechanism, *delta, *eps, *radius, sol.ETDD, sol.LowerBound)); err != nil {
 		fatalf("encode: %v", err)
+	}
+}
+
+// writeMemProfile dumps an allocation profile after a forced GC, so the
+// numbers reflect live retention plus cumulative alloc sites rather than
+// whatever garbage the last CG round left behind.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("memprofile: %v", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		fatalf("memprofile: %v", err)
 	}
 }
 

@@ -46,6 +46,16 @@ type CGOptions struct {
 	// mechanism (plus zero columns) instead of the multi-sharpness seed
 	// family — the seeding ablation.
 	PlainSeed bool
+	// ColdRestart disables every warm-start path: the master LP is
+	// rebuilt from scratch each round and each pricing subproblem
+	// constructs a fresh LP per solve. This is the pre-warm-start
+	// behaviour, kept as the honest baseline for the benchmark suite.
+	ColdRestart bool
+	// Resume, when non-nil, seeds the master with the column pool of a
+	// previous run on the same problem instead of the synthetic seed
+	// family, so the loop restarts where the previous run stopped. A
+	// state whose shape does not match the problem is ignored.
+	Resume *CGState
 	// LP passes solver options to both master and subproblems.
 	LP lp.Options
 	// OnIteration, when non-nil, observes each round (for tracing and
@@ -110,8 +120,52 @@ type CGResult struct {
 	// numerical condition rather than a convergence criterion; the
 	// mechanism is still the valid incumbent of the last clean round.
 	Stopped string
+	// State is the final column pool, resumable via CGOptions.Resume. It
+	// is immutable once returned and safe to share across goroutines.
+	State *CGState
 	// Elapsed is the total solve wall time.
 	Elapsed time.Duration
+}
+
+// CGState is an opaque snapshot of a column-generation run's column
+// pool. A run resumed from it (CGOptions.Resume) re-admits every column
+// the previous run priced out, so an interrupted or gap-limited solve
+// continues rather than restarts — the background-upgrade path of the
+// serving layer warm-starts from its incumbent's state this way.
+type CGState struct {
+	k       int
+	columns []cgColumn
+}
+
+// Columns returns the pool size (0 for a nil state).
+func (st *CGState) Columns() int {
+	if st == nil {
+		return 0
+	}
+	return len(st.columns)
+}
+
+// validFor reports whether the snapshot matches a problem with k true
+// intervals.
+func (st *CGState) validFor(k int) bool {
+	if st == nil || st.k != k || len(st.columns) == 0 {
+		return false
+	}
+	covered := make([]bool, k)
+	for _, c := range st.columns {
+		if len(c.z) != k || c.l < 0 || c.l >= k {
+			return false
+		}
+		covered[c.l] = true
+	}
+	// Every convexity row needs at least one column or the master is
+	// structurally infeasible.
+	for _, ok := range covered {
+		if !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // ApproxRatio returns ETDD / LowerBound, the paper's approximation-ratio
@@ -184,7 +238,15 @@ func SolveCGCtx(ctx context.Context, pr *Problem, opts CGOptions) (res *CGResult
 	start := time.Now()
 	k := pr.Part.K()
 
-	columns := seedColumns(pr, opts.PlainSeed)
+	var columns []cgColumn
+	if opts.Resume.validFor(k) {
+		// Restart from a previous run's pool: the columns are immutable,
+		// so sharing the backing entries (but not the slice header) with
+		// the donor state is safe.
+		columns = append(make([]cgColumn, 0, len(opts.Resume.columns)+k), opts.Resume.columns...)
+	} else {
+		columns = seedColumns(pr, opts.PlainSeed)
+	}
 	sub := newPricer(pr, opts)
 	res = &CGResult{LowerBound: math.Inf(-1)}
 	var lambda []float64
@@ -210,6 +272,17 @@ func SolveCGCtx(ctx context.Context, pr *Problem, opts CGOptions) (res *CGResult
 		xi = -cgTol
 	}
 
+	// Persistent master (unless the cold-restart baseline is requested):
+	// compiled once over the seed pool, grown in place as columns arrive.
+	var ms *masterState
+	if !opts.ColdRestart {
+		var mserr error
+		ms, mserr = newMasterState(pr, columns, rho, opts.LP)
+		if mserr != nil {
+			return nil, fmt.Errorf("core: CG master setup: %w", mserr)
+		}
+	}
+
 	var piStab []float64 // dual point of the best Lagrangian bound
 
 rounds:
@@ -225,7 +298,11 @@ rounds:
 		var masterObj, slack float64
 		var lam, piM, muM []float64
 		if merr == nil {
-			masterObj, lam, piM, muM, slack, merr = solveMaster(ctx, pr, columns, rho, opts.LP)
+			if ms != nil {
+				masterObj, lam, piM, muM, slack, merr = ms.solve(ctx)
+			} else {
+				masterObj, lam, piM, muM, slack, merr = solveMaster(ctx, pr, columns, rho, opts.LP)
+			}
 		}
 		if merr != nil {
 			if lambda == nil {
@@ -322,6 +399,9 @@ rounds:
 				}
 				if rc < -cgTol && !duplicateColumn(columns, c) {
 					columns = append(columns, c)
+					if ms != nil {
+						ms.addColumn(c)
+					}
 					added++
 				}
 			}
@@ -347,6 +427,9 @@ rounds:
 			if slack > slackTol {
 				// Converged against a binding dual box: widen and go on.
 				rho *= 10
+				if ms != nil {
+					ms.setRho(rho)
+				}
 				continue
 			}
 			break
@@ -357,6 +440,9 @@ rounds:
 		if it.ColumnsAdded == 0 {
 			if slack > slackTol {
 				rho *= 10
+				if ms != nil {
+					ms.setRho(rho)
+				}
 				continue
 			}
 			// Verified negative reduced costs, yet every proposed column
@@ -388,6 +474,9 @@ rounds:
 	normalizeRows(z, k)
 	res.Mechanism = &Mechanism{Part: pr.Part, Z: z}
 	res.ETDD = pr.ETDD(res.Mechanism)
+	// Snapshot the pool for CGOptions.Resume; the slice is never mutated
+	// after this point.
+	res.State = &CGState{k: k, columns: columns}
 	// The Lagrangian bound can be vacuous (negative) when the loop stops
 	// very early; quality loss is non-negative by definition.
 	if res.LowerBound < 0 {
@@ -560,6 +649,97 @@ func solveMaster(ctx context.Context, pr *Problem, columns []cgColumn, rho float
 	return sol.Objective, sol.X[:n], sol.Duals[:k], sol.Duals[k : 2*k], slackUse, nil
 }
 
+// masterState is the persistent restricted master: one interior-point
+// instance kept alive for the whole column-generation run. The variable
+// layout puts the 2K stabilization slacks first (so their indices never
+// move) and appends one variable per admitted column after them; rows
+// are the K unit rows followed by the K convexity rows, all equalities.
+// Between rounds only three things change, each in place: new columns
+// are appended (AddColumn), the slack penalty ρ is retuned
+// (SetObjectiveCoeff), and the solver warm-starts from its previous
+// optimal iterate — falling back to a cold start internally whenever
+// that iterate goes stale.
+type masterState struct {
+	k     int
+	ncols int
+	sv    *lp.IPMSolver
+
+	entryBuf []lp.Term // scratch for column entries
+}
+
+// newMasterState compiles the master over the initial column pool.
+func newMasterState(pr *Problem, columns []cgColumn, rho float64, lpOpts lp.Options) (*masterState, error) {
+	k := pr.Part.K()
+	ms := &masterState{k: k}
+	prob := lp.NewProblem(2 * k)
+	for s := 0; s < 2*k; s++ {
+		prob.SetObjectiveCoeff(s, rho)
+	}
+	// Unit rows 0..k−1: s_i⁺ − s_i⁻ + Σ ẑ_i λ = 1; convexity rows
+	// k..2k−1: Σ_{t∈l} λ_{l,t} = 1 (filled by the column appends below).
+	for i := 0; i < k; i++ {
+		prob.AddConstraint([]lp.Term{{Var: 2 * i, Coef: 1}, {Var: 2*i + 1, Coef: -1}}, lp.EQ, 1)
+	}
+	for l := 0; l < k; l++ {
+		prob.AddConstraint(nil, lp.EQ, 1)
+	}
+	for _, c := range columns {
+		prob.AddColumn(c.cost, ms.colEntries(c))
+	}
+	sv, err := lp.NewIPMSolver(prob, lpOpts)
+	if err != nil {
+		return nil, err
+	}
+	ms.sv = sv
+	ms.ncols = len(columns)
+	return ms, nil
+}
+
+// colEntries renders a column's constraint entries (unit rows it touches
+// plus its convexity row) into the shared scratch buffer.
+func (ms *masterState) colEntries(c cgColumn) []lp.Term {
+	ms.entryBuf = ms.entryBuf[:0]
+	for i, v := range c.z {
+		if v != 0 {
+			ms.entryBuf = append(ms.entryBuf, lp.Term{Var: i, Coef: v})
+		}
+	}
+	ms.entryBuf = append(ms.entryBuf, lp.Term{Var: ms.k + c.l, Coef: 1})
+	return ms.entryBuf
+}
+
+// addColumn admits a priced-out column into the live master.
+func (ms *masterState) addColumn(c cgColumn) {
+	ms.sv.AddColumn(c.cost, ms.colEntries(c))
+	ms.ncols++
+}
+
+// setRho retunes the stabilization penalty on all 2K slack variables.
+func (ms *masterState) setRho(rho float64) {
+	for s := 0; s < 2*ms.k; s++ {
+		ms.sv.SetObjectiveCoeff(s, rho)
+	}
+}
+
+// solve re-solves the live master; same contract as solveMaster. The
+// returned slices alias the solver's solution and are valid until the
+// next solve.
+func (ms *masterState) solve(ctx context.Context) (obj float64, lambda, pi, mu []float64, slackUse float64, err error) {
+	ms.sv.SetContext(ctx)
+	sol, err := ms.sv.Solve()
+	if err != nil {
+		return 0, nil, nil, nil, 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return 0, nil, nil, nil, 0, fmt.Errorf("master LP (%d rows, %d cols) ended %v after %d IPM iterations",
+			2*ms.k, ms.sv.NumVars(), sol.Status, sol.Iterations)
+	}
+	for s := 0; s < 2*ms.k; s++ {
+		slackUse += sol.X[s]
+	}
+	return sol.Objective, sol.X[2*ms.k:], sol.Duals[:ms.k], sol.Duals[ms.k : 2*ms.k], slackUse, nil
+}
+
 // pricer solves the K pricing subproblems.
 //
 // The primal form of sub_l — min w·z over Λ_l = {Gz ≤ 0, 0 ≤ z ≤ 1} with
@@ -587,8 +767,31 @@ type pricer struct {
 	// primalBase is the straightforward primal formulation, used as the
 	// verification fallback.
 	primalBase *lp.Problem
+	// dualBase is the dual formulation with placeholder right-hand sides;
+	// warm workers compile their Prepared instances from it.
+	dualBase *lp.Problem
 	// pairF caches e^{ε·D} per reduced pair for feasibility checks.
 	pairF []float64
+
+	// Warm-start machinery (absent under CGOptions.ColdRestart): one
+	// persistent compiled LP pair per worker, plus one basis snapshot per
+	// subproblem. A subproblem is handled by exactly one worker per round
+	// and rounds are separated by a WaitGroup barrier, so the per-l basis
+	// slots are race-free even though successive rounds may assign l to
+	// different workers.
+	warm        bool
+	workerState []*pricerWorker
+	dualBases   []*lp.Basis
+	primalBases []*lp.Basis
+}
+
+// pricerWorker is one worker goroutine's reusable solver state. The dual
+// instance is compiled eagerly (it is the hot path); the primal fallback
+// lazily on first use.
+type pricerWorker struct {
+	p      *pricer
+	dual   *lp.Prepared
+	primal *lp.Prepared
 }
 
 func newPricer(pr *Problem, opts CGOptions) *pricer {
@@ -628,7 +831,60 @@ func newPricer(pr *Problem, opts CGOptions) *pricer {
 	for i := 0; i < k; i++ {
 		p.dualRows[i] = append(p.dualRows[i], lp.Term{Var: 2*len(pr.Red.Pairs) + i, Coef: 1})
 	}
+
+	// Dual template with placeholder right-hand sides: structure (and
+	// hence equilibration) is fixed, only −w_i changes between solves.
+	dual := lp.NewProblem(p.numDual)
+	for b := 0; b < k; b++ {
+		dual.SetObjectiveCoeff(2*len(pr.Red.Pairs)+b, 1)
+	}
+	for i := 0; i < k; i++ {
+		dual.AddConstraint(p.dualRows[i], lp.GE, 0)
+	}
+	p.dualBase = dual
+
+	if !opts.ColdRestart {
+		p.warm = true
+		workers := opts.Workers
+		if workers > k {
+			workers = k
+		}
+		p.workerState = make([]*pricerWorker, workers)
+		p.dualBases = make([]*lp.Basis, k)
+		p.primalBases = make([]*lp.Basis, k)
+	}
 	return p
+}
+
+// worker returns (creating on first use) worker w's persistent solver
+// state, or nil in cold-restart mode.
+func (p *pricer) worker(w int) *pricerWorker {
+	if !p.warm {
+		return nil
+	}
+	if p.workerState[w] == nil {
+		pp, err := lp.Prepare(p.dualBase, p.opts.LP)
+		if err != nil {
+			// Cannot happen for the non-empty dual template; degrade to
+			// the cold path rather than crash.
+			return nil
+		}
+		p.workerState[w] = &pricerWorker{p: p, dual: pp}
+	}
+	return p.workerState[w]
+}
+
+// primalPrepared lazily compiles the worker's persistent primal
+// fallback instance.
+func (wk *pricerWorker) primalPrepared() *lp.Prepared {
+	if wk.primal == nil {
+		pp, err := lp.Prepare(wk.p.primalBase, wk.p.opts.LP)
+		if err != nil {
+			return nil
+		}
+		wk.primal = pp
+	}
+	return wk.primal
 }
 
 // priceAll solves every sub_l at dual point π, returning per block the
@@ -649,8 +905,9 @@ func (p *pricer) priceAll(ctx context.Context, pi []float64) ([]float64, []cgCol
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			wk := p.worker(w)
 			for l := range work {
 				if cerr := ctx.Err(); cerr != nil {
 					errs[l] = cerr
@@ -665,10 +922,10 @@ func (p *pricer) priceAll(ctx context.Context, pi []float64) ([]float64, []cgCol
 							errs[l] = newPanicError("core.pricer", r)
 						}
 					}()
-					mins[l], cols[l], errs[l] = p.priceOne(ctx, l, pi)
+					mins[l], cols[l], errs[l] = p.priceOne(ctx, wk, l, pi)
 				}()
 			}
-		}()
+		}(w)
 	}
 	for l := 0; l < k; l++ {
 		work <- l
@@ -684,10 +941,73 @@ func (p *pricer) priceAll(ctx context.Context, pi []float64) ([]float64, []cgCol
 	return mins, cols, nil
 }
 
-func (p *pricer) priceOne(ctx context.Context, l int, pi []float64) (float64, cgColumn, error) {
+func (p *pricer) priceOne(ctx context.Context, wk *pricerWorker, l int, pi []float64) (float64, cgColumn, error) {
 	if err := faultinject.At(FaultSiteCGPricing); err != nil {
 		return 0, cgColumn{}, fmt.Errorf("injected fault: %w", err)
 	}
+	if wk != nil {
+		return p.priceOneWarm(ctx, wk, l, pi)
+	}
+	return p.priceOneCold(ctx, l, pi)
+}
+
+// priceOneWarm solves sub_l on the worker's persistent instances: the
+// dual LP's right-hand sides are retuned in place and the simplex
+// restarts from the basis that was optimal for this subproblem last
+// round. Since only −w moves between rounds (by however much the master
+// duals moved), that basis is typically a handful of dual-simplex pivots
+// from re-optimal; a stale basis silently costs a cold solve, never a
+// wrong answer.
+func (p *pricer) priceOneWarm(ctx context.Context, wk *pricerWorker, l int, pi []float64) (float64, cgColumn, error) {
+	k := p.pr.Part.K()
+	wk.dual.SetContext(ctx)
+	for i := 0; i < k; i++ {
+		w := p.pr.Costs[i*k+l] - pi[i]
+		wk.dual.SetRHS(i, -w)
+	}
+	sol, err := wk.dual.SolveFrom(p.dualBases[l])
+	if err == nil && sol.Status == lp.Optimal {
+		p.dualBases[l] = wk.dual.Basis(p.dualBases[l])
+		z := make([]float64, k)
+		for i := 0; i < k; i++ {
+			z[i] = clamp01(sol.Duals[i])
+		}
+		if p.feasible(z) {
+			col := cgColumn{l: l, z: z, cost: p.pr.columnCost(l, z)}
+			return -sol.Objective, col, nil // min wᵀz = −min bᵀu
+		}
+	}
+	if err != nil && ctx.Err() != nil {
+		return 0, cgColumn{}, err
+	}
+
+	// Fallback: persistent primal instance, objective retuned per l.
+	primal := wk.primalPrepared()
+	if primal == nil {
+		return p.priceOneCold(ctx, l, pi)
+	}
+	primal.SetContext(ctx)
+	for i := 0; i < k; i++ {
+		primal.SetObjectiveCoeff(i, p.pr.Costs[i*k+l]-pi[i])
+	}
+	psol, err := primal.SolveFrom(p.primalBases[l])
+	if err != nil {
+		return 0, cgColumn{}, err
+	}
+	if psol.Status != lp.Optimal {
+		return 0, cgColumn{}, fmt.Errorf("pricing LP ended %v", psol.Status)
+	}
+	p.primalBases[l] = primal.Basis(p.primalBases[l])
+	z := make([]float64, k)
+	copy(z, psol.X)
+	col := cgColumn{l: l, z: z, cost: p.pr.columnCost(l, z)}
+	return psol.Objective, col, nil
+}
+
+// priceOneCold is the rebuild-per-solve path (CGOptions.ColdRestart and
+// the benchmark baseline): a fresh dual LP each call, with a cloned
+// primal solve as the verification fallback.
+func (p *pricer) priceOneCold(ctx context.Context, l int, pi []float64) (float64, cgColumn, error) {
 	k := p.pr.Part.K()
 	lpOpts := p.opts.LP
 	lpOpts.Ctx = ctx

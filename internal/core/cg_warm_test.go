@@ -1,0 +1,216 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/discretize"
+	"repro/internal/roadnet"
+)
+
+// rowStochasticError is the largest |Σ_l z_{i,l} − 1| over true rows.
+func rowStochasticError(m *Mechanism) float64 {
+	k := m.Part.K()
+	worst := 0.0
+	for i := 0; i < k; i++ {
+		sum := 0.0
+		for l := 0; l < k; l++ {
+			sum += m.Z[i*k+l]
+		}
+		if e := math.Abs(sum - 1); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// TestSolveCGWarmMatchesColdRestart is the warm-start correctness
+// property: on randomized networks the default (persistent, warm-started)
+// pipeline and the ColdRestart (rebuild-everything) baseline must agree
+// on the final ETDD within tolerance, and the warm mechanism must be as
+// feasible as the cold one.
+func TestSolveCGWarmMatchesColdRestart(t *testing.T) {
+	for _, tc := range []struct {
+		seed int64
+		eps  float64
+	}{
+		{101, 3}, {102, 5}, {103, 8}, {104, 2},
+	} {
+		rng := rand.New(rand.NewSource(tc.seed))
+		g := roadnet.Grid(rng, roadnet.GridConfig{
+			Rows: 2 + rng.Intn(2), Cols: 2 + rng.Intn(2),
+			Spacing: 0.25 + 0.1*rng.Float64(), OneWayFrac: 0.4, WeightJitter: 0.2,
+		})
+		part, err := discretize.New(g, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := NewProblem(part, Config{Epsilon: tc.eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		warm, err := SolveCG(pr, CGOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: warm: %v", tc.seed, err)
+		}
+		cold, err := SolveCG(pr, CGOptions{ColdRestart: true})
+		if err != nil {
+			t.Fatalf("seed %d: cold: %v", tc.seed, err)
+		}
+
+		// Both pipelines run the same decomposition with the same
+		// admission tolerance; the achieved quality loss must agree to
+		// solver tolerance.
+		relTol := 1e-5 * (1 + math.Abs(cold.ETDD))
+		if math.Abs(warm.ETDD-cold.ETDD) > relTol {
+			t.Errorf("seed %d: warm ETDD %v vs cold %v (diff %g)",
+				tc.seed, warm.ETDD, cold.ETDD, math.Abs(warm.ETDD-cold.ETDD))
+		}
+
+		// Warm-started mechanisms are exactly as feasible as cold ones.
+		// Raw CG output carries solver-tolerance-level violations on both
+		// paths, so compare what is actually served: the mechanisms after
+		// the same EnforceGeoI repair the pipeline applies. Post-repair,
+		// Geo-I violation and row-stochastic error must match within 1e-9.
+		const geoITol = 1e-10
+		warmFix, _, err := pr.EnforceGeoI(warm.Mechanism, geoITol)
+		if err != nil {
+			t.Fatalf("seed %d: enforce warm: %v", tc.seed, err)
+		}
+		coldFix, _, err := pr.EnforceGeoI(cold.Mechanism, geoITol)
+		if err != nil {
+			t.Fatalf("seed %d: enforce cold: %v", tc.seed, err)
+		}
+		// GeoIViolation is signed (negative means strict slack); only
+		// actual violations count.
+		wv := math.Max(pr.GeoIViolation(warmFix), 0)
+		cv := math.Max(pr.GeoIViolation(coldFix), 0)
+		if dv := math.Abs(wv - cv); dv > 1e-9 || wv > 1e-9 {
+			t.Errorf("seed %d: Geo-I violation warm %g vs cold %g", tc.seed, wv, cv)
+		}
+		if dr := math.Abs(rowStochasticError(warmFix) - rowStochasticError(coldFix)); dr > 1e-9 {
+			t.Errorf("seed %d: row-stochastic error differs by %g between warm and cold", tc.seed, dr)
+		}
+		if warm.State == nil || warm.State.Columns() == 0 {
+			t.Errorf("seed %d: warm result carries no resumable state", tc.seed)
+		}
+	}
+}
+
+// TestSolveCGResumeFromState checks that a run resumed from a previous
+// run's column pool reaches the same answer, in no more rounds than the
+// original.
+func TestSolveCGResumeFromState(t *testing.T) {
+	pr := smallProblem(t, 31, 5)
+	first, err := SolveCG(pr, CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.State == nil {
+		t.Fatal("no state on first run")
+	}
+	resumed, err := SolveCG(pr, CGOptions{Resume: first.State})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resumed.ETDD-first.ETDD) > 1e-5*(1+first.ETDD) {
+		t.Fatalf("resumed ETDD %v vs first %v", resumed.ETDD, first.ETDD)
+	}
+	if len(resumed.Iterations) > len(first.Iterations) {
+		t.Fatalf("resume took %d rounds, original %d", len(resumed.Iterations), len(first.Iterations))
+	}
+}
+
+// TestSolveCGResumeMismatchedStateIgnored: a state snapshot from a
+// different-sized problem must be ignored, not crash or corrupt.
+func TestSolveCGResumeMismatchedStateIgnored(t *testing.T) {
+	big := smallProblem(t, 32, 5)
+	tiny := tinyProblem(t, 33, 5)
+	donor, err := SolveCG(big, CGOptions{MaxIterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveCG(tiny, CGOptions{Resume: donor.State})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := SolveCG(tiny, CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.ETDD-ref.ETDD) > 1e-6*(1+ref.ETDD) {
+		t.Fatalf("mismatched resume changed the answer: %v vs %v", res.ETDD, ref.ETDD)
+	}
+
+	// A hand-poisoned state (wrong-length column, uncovered block) is
+	// likewise ignored.
+	k := tiny.Part.K()
+	poisoned := &CGState{k: k, columns: []cgColumn{{l: 0, z: make([]float64, k-1)}}}
+	res2, err := SolveCG(tiny, CGOptions{Resume: poisoned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res2.ETDD-ref.ETDD) > 1e-6*(1+ref.ETDD) {
+		t.Fatalf("poisoned resume changed the answer: %v vs %v", res2.ETDD, ref.ETDD)
+	}
+}
+
+// TestWarmPricingRoundAllocs is the allocation-regression guard on the
+// pricing hot path: once the per-worker Prepared instances and per-l
+// bases exist, a steady-state subproblem solve allocates only the
+// recovered column itself.
+func TestWarmPricingRoundAllocs(t *testing.T) {
+	pr := smallProblem(t, 35, 5)
+	k := pr.Part.K()
+	opts := CGOptions{Sequential: true}.withDefaults()
+	p := newPricer(pr, opts)
+	wk := p.worker(0)
+	if wk == nil {
+		t.Fatal("no warm worker")
+	}
+	pi := make([]float64, k)
+	for i := range pi {
+		pi[i] = 0.01 * float64(i%7)
+	}
+	ctx := context.Background()
+	// Warm every subproblem's basis once.
+	for l := 0; l < k; l++ {
+		if _, _, err := p.priceOne(ctx, wk, l, pi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		pi[3] += 1e-4 // drift the duals slightly, as rounds do
+		if _, _, err := p.priceOne(ctx, wk, l, pi); err != nil {
+			t.Fatal(err)
+		}
+		l = (l + 1) % k
+	})
+	// Budget: the k-float z slice for the returned column plus a few
+	// words of interface/closure noise — nothing proportional to the LP.
+	if allocs > 8 {
+		t.Fatalf("warm pricing solve allocates %v objects per run, want ≤ 8", allocs)
+	}
+}
+
+// TestSolveCGWarmSequentialMatchesParallel guards the per-worker
+// Prepared instances against worker-count dependence: the warm pipeline
+// must give the same answer with one worker and with many.
+func TestSolveCGWarmSequentialMatchesParallel(t *testing.T) {
+	pr := smallProblem(t, 34, 4)
+	seq, err := SolveCG(pr, CGOptions{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SolveCG(pr, CGOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(seq.ETDD-par.ETDD) > 1e-6*(1+seq.ETDD) {
+		t.Fatalf("sequential ETDD %v vs parallel %v", seq.ETDD, par.ETDD)
+	}
+}

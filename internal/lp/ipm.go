@@ -24,6 +24,9 @@ const FaultSiteIPM = "lp/ipm"
 // Infeasible or unbounded problems surface as IterationLimit: the method
 // is intended for instances known to be feasible and bounded (the CG
 // master always is).
+// For re-solve sequences that mutate one instance in place (column
+// generation masters), IPMSolver keeps the compiled form, the workspace
+// and the previous iterate alive and warm-starts each Solve.
 func SolveIPM(p *Problem, opts Options) (*Solution, error) {
 	if len(p.constraints) == 0 {
 		return nil, ErrNoConstraints
@@ -123,36 +126,87 @@ func newIPM(p *Problem, opts Options) *ipm {
 	return ip
 }
 
-func (ip *ipm) solve() (*Solution, error) {
-	m, n := ip.m, ip.n
-	x := make([]float64, n)
-	s := make([]float64, n)
-	y := make([]float64, m)
-	for j := range x {
-		x[j] = 1
-		s[j] = 1
-	}
+// ipmWorkspace holds every vector and matrix the Newton loop touches,
+// preallocated once and reused across re-solves of a persistent
+// instance. grow resizes it after columns are appended.
+type ipmWorkspace struct {
+	// m-sized
+	rp, dy, dyc, rhs, acceptY, accept2Y []float64
+	// n-sized
+	rd, dx, ds, dxc, dsc, d, rc, acceptX, accept2X []float64
+	// m×m
+	mmat, chol []float64
+}
 
-	// Scale the starting point to the problem's magnitude.
+func newIPMWorkspace(m, n int) *ipmWorkspace {
+	ws := &ipmWorkspace{}
+	ws.grow(m, n)
+	return ws
+}
+
+func (ws *ipmWorkspace) grow(m, n int) {
+	for _, p := range []*[]float64{&ws.rp, &ws.dy, &ws.dyc, &ws.rhs, &ws.acceptY, &ws.accept2Y} {
+		if cap(*p) < m {
+			*p = make([]float64, m)
+		}
+		*p = (*p)[:m]
+	}
+	for _, p := range []*[]float64{&ws.rd, &ws.dx, &ws.ds, &ws.dxc, &ws.dsc, &ws.d, &ws.rc, &ws.acceptX, &ws.accept2X} {
+		if cap(*p) < n {
+			// Headroom for a column-generation master that keeps growing.
+			*p = make([]float64, n, n+n/2+16)
+		}
+		*p = (*p)[:n]
+	}
+	if cap(ws.mmat) < m*m {
+		ws.mmat = make([]float64, m*m)
+		ws.chol = make([]float64, m*m)
+	}
+	ws.mmat = ws.mmat[:m*m]
+	ws.chol = ws.chol[:m*m]
+}
+
+// defaultStart fills (x, y, s) with the cold interior start scaled to the
+// problem's magnitude.
+func (ip *ipm) defaultStart(x, y, s []float64) {
 	bn, cn := norm(ip.b), norm(ip.c)
 	start := math.Max(1, math.Max(bn, cn))
 	for j := range x {
 		x[j] = start
 		s[j] = start
 	}
+	for i := range y {
+		y[i] = 0
+	}
+}
 
-	rp := make([]float64, m)
-	rd := make([]float64, n)
-	dx := make([]float64, n)
-	ds := make([]float64, n)
-	dy := make([]float64, m)
-	dxc := make([]float64, n)
-	dsc := make([]float64, n)
-	dyc := make([]float64, m)
-	d := make([]float64, n)
-	rhs := make([]float64, m)
-	mmat := make([]float64, m*m)
-	rc := make([]float64, n)
+func (ip *ipm) solve() (*Solution, error) {
+	x := make([]float64, ip.n)
+	s := make([]float64, ip.n)
+	y := make([]float64, ip.m)
+	ip.defaultStart(x, y, s)
+	return ip.run(x, y, s, newIPMWorkspace(ip.m, ip.n))
+}
+
+// run iterates the predictor-corrector loop from the given starting
+// point, which it mutates in place: at return, (x, y, s) hold the final
+// iterate — a warm-startable point for a subsequent re-solve.
+func (ip *ipm) run(x, y, s []float64, ws *ipmWorkspace) (*Solution, error) {
+	m, n := ip.m, ip.n
+	bn, cn := norm(ip.b), norm(ip.c)
+
+	rp := ws.rp
+	rd := ws.rd
+	dx := ws.dx
+	ds := ws.ds
+	dy := ws.dy
+	dxc := ws.dxc
+	dsc := ws.dsc
+	dyc := ws.dyc
+	d := ws.d
+	rhs := ws.rhs
+	mmat := ws.mmat
+	rc := ws.rc
 
 	maxIter := 200
 	tol := 1e-9
@@ -174,12 +228,12 @@ func (ip *ipm) solve() (*Solution, error) {
 	)
 	var lastAP, lastAD, lastSigma float64
 	bestScore := math.Inf(1)
-	acceptX := make([]float64, n)
-	acceptY := make([]float64, m)
+	acceptX := ws.acceptX
+	acceptY := ws.acceptY
 	acceptScore := math.Inf(1)
 	acceptOK := false
-	accept2X := make([]float64, n)
-	accept2Y := make([]float64, m)
+	accept2X := ws.accept2X
+	accept2Y := ws.accept2Y
 	accept2Score := math.Inf(1)
 	accept2OK := false
 	stalled := 0
@@ -248,14 +302,13 @@ func (ip *ipm) solve() (*Solution, error) {
 		for i := 0; i < m; i++ {
 			mmat[i*m+i] += reg
 		}
-		chol, ok := cholesky(mmat, m)
-		if !ok {
+		chol := ws.chol
+		if !choleskyInto(mmat, chol, m) {
 			// Heavier regularisation as a fallback.
 			for i := 0; i < m; i++ {
 				mmat[i*m+i] += 1e-6 * (1 + traceMax(mmat, m))
 			}
-			chol, ok = cholesky(mmat, m)
-			if !ok {
+			if !choleskyInto(mmat, chol, m) {
 				return &Solution{Status: IterationLimit, Iterations: iter}, nil
 			}
 		}
@@ -328,7 +381,9 @@ func (ip *ipm) residuals(x, y, s, rp, rd []float64) {
 	}
 }
 
-// formNormal fills mmat = A diag(d) Aᵀ (dense, symmetric).
+// formNormal fills mmat = A diag(d) Aᵀ (dense, symmetric). Each column's
+// row indices are ascending, so only the upper triangle is accumulated —
+// halving the flops of the hottest IPM kernel — and mirrored at the end.
 func (ip *ipm) formNormal(d []float64, mmat []float64) {
 	m := ip.m
 	for i := range mmat {
@@ -337,12 +392,18 @@ func (ip *ipm) formNormal(d []float64, mmat []float64) {
 	for j := 0; j < ip.n; j++ {
 		col := &ip.cols[j]
 		dj := d[j]
-		for a, ra := range col.rows {
-			va := dj * col.vals[a]
+		rows, vals := col.rows, col.vals
+		for a, ra := range rows {
+			va := dj * vals[a]
 			base := int(ra) * m
-			for bIdx, rb := range col.rows {
-				mmat[base+int(rb)] += va * col.vals[bIdx]
+			for b := a; b < len(rows); b++ {
+				mmat[base+int(rows[b])] += va * vals[b]
 			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			mmat[j*m+i] = mmat[i*m+j]
 		}
 	}
 }
@@ -435,11 +496,13 @@ func traceMax(mmat []float64, m int) float64 {
 	return worst
 }
 
-// cholesky returns the lower-triangular factor of a symmetric
-// positive-definite matrix (row-major), or false if the factorisation
-// breaks down.
-func cholesky(a []float64, m int) ([]float64, bool) {
-	l := make([]float64, m*m)
+// choleskyInto factors a symmetric positive-definite matrix (row-major)
+// into the caller-provided lower-triangular buffer l, reporting false if
+// the factorisation breaks down.
+func choleskyInto(a, l []float64, m int) bool {
+	for i := range l[:m*m] {
+		l[i] = 0
+	}
 	for i := 0; i < m; i++ {
 		for j := 0; j <= i; j++ {
 			sum := a[i*m+j]
@@ -448,7 +511,7 @@ func cholesky(a []float64, m int) ([]float64, bool) {
 			}
 			if i == j {
 				if sum <= 0 {
-					return nil, false
+					return false
 				}
 				l[i*m+i] = math.Sqrt(sum)
 			} else {
@@ -456,7 +519,7 @@ func cholesky(a []float64, m int) ([]float64, bool) {
 			}
 		}
 	}
-	return l, true
+	return true
 }
 
 // cholSolve solves L Lᵀ out = rhs.

@@ -1,0 +1,203 @@
+package lp
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/faultinject"
+)
+
+// IPMSolver is a persistent interior-point instance for re-solve
+// sequences that mutate one problem in place — the restricted master of
+// a column-generation loop. It keeps the compiled standard form, the
+// Newton-loop workspace and the previous optimal iterate alive across
+// solves: AddColumn appends a priced-out column without rebuilding
+// anything, SetObjectiveCoeff retunes costs (stabilization penalties),
+// and each Solve warm-starts from the previous iterate, falling back to
+// the usual cold start automatically whenever the warm point is stale or
+// fails to converge.
+//
+// The instance is compiled for equality-constrained problems (every row
+// EQ): that keeps appended columns in one-to-one correspondence with
+// standard-form columns. Row equilibration factors are frozen at
+// NewIPMSolver time and applied to appended columns, so all rows stay on
+// a consistent scale. Not safe for concurrent use.
+type IPMSolver struct {
+	ip *ipm
+	ws *ipmWorkspace
+
+	// Previous optimal iterate; warm-start seed for the next Solve.
+	warmX, warmY, warmS []float64
+	haveWarm            bool
+
+	entryBuf []Term // scratch for AddColumn's sorted, scaled entries
+}
+
+// NewIPMSolver compiles the problem. Every constraint row must be EQ; a
+// problem with inequality rows (whose standard form appends slack
+// columns after the originals) is rejected because AddColumn could no
+// longer grow the tail of the column array.
+func NewIPMSolver(p *Problem, opts Options) (*IPMSolver, error) {
+	if len(p.constraints) == 0 {
+		return nil, ErrNoConstraints
+	}
+	for i, c := range p.constraints {
+		if c.Op != EQ {
+			return nil, fmt.Errorf("lp: IPMSolver requires equality rows, row %d is %v", i, c.Op)
+		}
+	}
+	ip := newIPM(p, opts)
+	return &IPMSolver{ip: ip, ws: newIPMWorkspace(ip.m, ip.n)}, nil
+}
+
+// NumVars returns the current column count.
+func (sv *IPMSolver) NumVars() int { return sv.ip.n }
+
+// SetObjectiveCoeff updates the objective coefficient of column j.
+func (sv *IPMSolver) SetObjectiveCoeff(j int, v float64) {
+	sv.ip.c[j] = v
+}
+
+// SetContext installs the cancellation context polled by subsequent
+// solves; nil runs to completion.
+func (sv *IPMSolver) SetContext(ctx context.Context) { sv.ip.opt.Ctx = ctx }
+
+// AddColumn appends a new non-negative variable with objective
+// coefficient cost; in entries, Term.Var is a row index. The compiled
+// form grows in place and the warm iterate is extended so the next Solve
+// still warm-starts.
+func (sv *IPMSolver) AddColumn(cost float64, entries []Term) int {
+	ip := sv.ip
+	j := ip.n
+
+	sv.entryBuf = sv.entryBuf[:0]
+	for _, e := range entries {
+		if e.Var < 0 || e.Var >= ip.m {
+			panic(fmt.Sprintf("lp: column references row %d of %d", e.Var, ip.m))
+		}
+		if e.Coef == 0 {
+			continue
+		}
+		sv.entryBuf = append(sv.entryBuf, Term{Var: e.Var, Coef: e.Coef * ip.rowScl[e.Var] * float64(ip.rowSign[e.Var])})
+	}
+	// formNormal exploits ascending row order within each column.
+	sort.Slice(sv.entryBuf, func(a, b int) bool { return sv.entryBuf[a].Var < sv.entryBuf[b].Var })
+
+	col := column{rows: make([]int32, 0, len(sv.entryBuf)), vals: make([]float64, 0, len(sv.entryBuf))}
+	for _, e := range sv.entryBuf {
+		if k := len(col.rows); k > 0 && col.rows[k-1] == int32(e.Var) {
+			col.vals[k-1] += e.Coef
+			continue
+		}
+		col.rows = append(col.rows, int32(e.Var))
+		col.vals = append(col.vals, e.Coef)
+	}
+	ip.cols = append(ip.cols, col)
+	ip.c = append(ip.c, cost)
+	ip.n++
+	// EQ-only problems carry no slack columns, so every standard-form
+	// column is an original variable and must appear in Solution.X.
+	ip.numOrig++
+
+	if sv.haveWarm {
+		// Seed the new coordinate: a small primal mass keeps the point
+		// interior, and the dual slack is the column's (clamped) reduced
+		// cost under the previous duals, which is exactly where a
+		// post-pricing warm start wants it.
+		floor := sv.warmFloor()
+		sv.warmX = append(sv.warmX, floor)
+		slack := cost - dotSparse(sv.warmY, &col)
+		if slack < floor {
+			slack = floor
+		}
+		sv.warmS = append(sv.warmS, slack)
+	}
+	return j
+}
+
+// warmFloor is the positive floor applied to warm-start coordinates so
+// the previous (near-boundary) optimum re-enters the interior.
+func (sv *IPMSolver) warmFloor() float64 {
+	mu := 0.0
+	for j := range sv.warmX {
+		mu += sv.warmX[j] * sv.warmS[j]
+	}
+	if len(sv.warmX) > 0 {
+		mu /= float64(len(sv.warmX))
+	}
+	f := math.Sqrt(mu)
+	if f < 1e-3 {
+		f = 1e-3
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Solve minimises the current instance, warm-starting from the previous
+// optimal iterate when one exists. A warm attempt that fails to reach
+// optimality is retried cold before anything is reported, so warm
+// starting never changes outcomes — only iteration counts.
+func (sv *IPMSolver) Solve() (*Solution, error) {
+	if err := faultinject.At(FaultSiteIPM); err != nil {
+		return nil, fmt.Errorf("lp: injected fault: %w", err)
+	}
+	ip := sv.ip
+	sv.ws.grow(ip.m, ip.n)
+
+	if sv.haveWarm && len(sv.warmX) == ip.n && len(sv.warmY) == ip.m {
+		x, y, s := sv.warmPoint()
+		sol, err := ip.run(x, y, s, sv.ws)
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status == Optimal {
+			sv.saveWarm(x, y, s)
+			return sol, nil
+		}
+		// Stale warm point: fall through to a cold start.
+		sv.haveWarm = false
+	}
+
+	x := growFloats(sv.warmX, ip.n)
+	s := growFloats(sv.warmS, ip.n)
+	y := growFloats(sv.warmY, ip.m)
+	ip.defaultStart(x, y, s)
+	sol, err := ip.run(x, y, s, sv.ws)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status == Optimal {
+		sv.saveWarm(x, y, s)
+	} else {
+		sv.haveWarm = false
+	}
+	return sol, err
+}
+
+// warmPoint builds the starting point for a warm solve: the previous
+// iterate pushed back into the interior by a μ-scaled floor. The arrays
+// are the stored warm buffers themselves — run mutates them in place and
+// saveWarm re-adopts them afterwards.
+func (sv *IPMSolver) warmPoint() (x, y, s []float64) {
+	floor := sv.warmFloor()
+	for j := range sv.warmX {
+		if sv.warmX[j] < floor {
+			sv.warmX[j] = floor
+		}
+		if sv.warmS[j] < floor {
+			sv.warmS[j] = floor
+		}
+	}
+	return sv.warmX, sv.warmY, sv.warmS
+}
+
+// saveWarm adopts the final iterate of a successful solve as the next
+// warm-start seed.
+func (sv *IPMSolver) saveWarm(x, y, s []float64) {
+	sv.warmX, sv.warmY, sv.warmS = x, y, s
+	sv.haveWarm = true
+}

@@ -134,6 +134,29 @@ func (p *Problem) AddConstraint(terms []Term, op Op, rhs float64) int {
 	return len(p.constraints) - 1
 }
 
+// AddColumn appends a new non-negative decision variable with objective
+// coefficient cost and one coefficient per existing constraint row, and
+// returns its index. In entries, Term.Var is interpreted as a *row*
+// index (the value returned by AddConstraint), not a variable index.
+// This is the growth API of column generation: the restricted master
+// gains one column per priced-out extreme point without being rebuilt.
+func (p *Problem) AddColumn(cost float64, entries []Term) int {
+	j := p.numVars
+	p.numVars++
+	p.objective = append(p.objective, cost)
+	for _, e := range entries {
+		if e.Var < 0 || e.Var >= len(p.constraints) {
+			panic(fmt.Sprintf("lp: column references row %d of %d", e.Var, len(p.constraints)))
+		}
+		if e.Coef == 0 {
+			continue
+		}
+		row := &p.constraints[e.Var]
+		row.Terms = append(row.Terms, Term{Var: j, Coef: e.Coef})
+	}
+	return j
+}
+
 // Status reports the outcome of a solve.
 type Status int
 
@@ -283,6 +306,16 @@ type simplex struct {
 	binv   []float64 // m×m basis inverse, row-major
 	xb     []float64 // current basic values (= binv·b)
 	bOrig  []float64 // unperturbed rhs, restored at optimality
+
+	// Preallocated workspaces, sized once so the pivot loop and the
+	// periodic refactorisations allocate nothing. A one-shot solve pays
+	// for them once; a Prepared instance reuses them across solves.
+	scratchY   []float64 // m: dual vector of the pricing pass
+	scratchDir []float64 // m: entering direction B⁻¹A_j
+	bmatBuf    []float64 // m×m: refactor's basis matrix
+	invBuf     []float64 // m×m: refactor's inversion target (swapped with binv)
+	p1Cost     []float64 // n: phase-1 cost vector (lazy)
+	banned     []bool    // n: phase-2 banned mask (lazy)
 
 	pivots              int
 	sinceRefactor       int
@@ -447,9 +480,19 @@ func newSimplex(p *Problem, opts Options) *simplex {
 	s.binv = identity(m)
 	s.xb = make([]float64, m)
 	copy(s.xb, s.b)
+	s.allocScratch()
 
 	s.opt = opts.withDefaults(m, s.n)
 	return s
+}
+
+// allocScratch sizes the per-solve workspaces once.
+func (s *simplex) allocScratch() {
+	m := s.m
+	s.scratchY = make([]float64, m)
+	s.scratchDir = make([]float64, m)
+	s.bmatBuf = make([]float64, m*m)
+	s.invBuf = make([]float64, m*m)
 }
 
 func identity(m int) []float64 {
@@ -461,18 +504,27 @@ func identity(m int) []float64 {
 }
 
 func (s *simplex) solve() (*Solution, error) {
+	sol := &Solution{}
+	if err := s.solveInto(sol); err != nil {
+		return nil, err
+	}
+	return sol, nil
+}
+
+// solveInto runs the two-phase simplex from the current initial state and
+// writes the outcome into sol, reusing sol's X and Duals buffers when
+// they have capacity. A non-nil error is returned only for cancellation.
+func (s *simplex) solveInto(sol *Solution) error {
 	// Phase 1: minimise the sum of artificials (cost 1 on artificials).
 	if s.artStart < s.n {
-		phase1 := make([]float64, s.n)
-		for j := s.artStart; j < s.n; j++ {
-			phase1[j] = 1
-		}
+		phase1 := s.phase1Cost()
 		status := s.iterate(phase1, nil)
 		if status == Cancelled {
-			return nil, s.opt.Ctx.Err()
+			return s.opt.Ctx.Err()
 		}
 		if status == IterationLimit {
-			return &Solution{Status: IterationLimit, Iterations: s.pivots}, nil
+			sol.Status, sol.Iterations = IterationLimit, s.pivots
+			return nil
 		}
 		infeas := 0.0
 		for i, j := range s.basis {
@@ -488,26 +540,53 @@ func (s *simplex) solve() (*Solution, error) {
 			pertTotal += s.b[i] - s.bOrig[i]
 		}
 		if infeas > 1e-7+20*pertTotal {
-			return &Solution{Status: Infeasible, Iterations: s.pivots}, nil
+			sol.Status, sol.Iterations = Infeasible, s.pivots
+			return nil
 		}
 		s.evictArtificials()
 	}
 
 	// Phase 2: original costs, artificials banned from entering.
-	banned := make([]bool, s.n)
-	for j := s.artStart; j < s.n; j++ {
-		banned[j] = true
-	}
-	status := s.iterate(s.cost, banned)
+	status := s.iterate(s.cost, s.bannedArtificials())
 	if status == Cancelled {
-		return nil, s.opt.Ctx.Err()
+		return s.opt.Ctx.Err()
 	}
 
-	sol := &Solution{Status: status, Iterations: s.pivots}
+	sol.Status, sol.Iterations = status, s.pivots
 	if status != Optimal {
-		return sol, nil
+		return nil
 	}
+	s.extractInto(sol)
+	return nil
+}
 
+// phase1Cost returns the phase-1 cost vector (1 on artificials), built in
+// a lazily allocated reusable buffer.
+func (s *simplex) phase1Cost() []float64 {
+	if s.p1Cost == nil || len(s.p1Cost) != s.n {
+		s.p1Cost = make([]float64, s.n)
+		for j := s.artStart; j < s.n; j++ {
+			s.p1Cost[j] = 1
+		}
+	}
+	return s.p1Cost
+}
+
+// bannedArtificials returns the phase-2 banned mask, built in a lazily
+// allocated reusable buffer.
+func (s *simplex) bannedArtificials() []bool {
+	if s.banned == nil || len(s.banned) != s.n {
+		s.banned = make([]bool, s.n)
+		for j := s.artStart; j < s.n; j++ {
+			s.banned[j] = true
+		}
+	}
+	return s.banned
+}
+
+// extractInto reads the optimal primal/dual solution off the current
+// basis, restoring the unperturbed right-hand side first.
+func (s *simplex) extractInto(sol *Solution) {
 	// Restore the unperturbed right-hand side: the basis stays optimal
 	// (reduced costs are b-independent) and the basic values are
 	// recomputed exactly.
@@ -516,7 +595,7 @@ func (s *simplex) solve() (*Solution, error) {
 
 	// Recover primal values of the original variables, undoing the
 	// column equilibration.
-	sol.X = make([]float64, s.numOrig)
+	sol.X = growFloats(sol.X, s.numOrig)
 	obj := 0.0
 	for i, j := range s.basis {
 		if j < s.numOrig {
@@ -534,12 +613,25 @@ func (s *simplex) solve() (*Solution, error) {
 	// saw row (scale·a)x ⋛ scale·b, so the original row's dual is
 	// y·scale (then undo the sign flip): c_j − Σ yᵢ(scaleᵢ·aᵢⱼ) =
 	// c_j − Σ (yᵢ·scaleᵢ)aᵢⱼ.
-	y := s.dualVector(s.cost)
-	sol.Duals = make([]float64, s.m)
+	y := s.scratchY
+	s.dualInto(s.cost, y)
+	sol.Duals = growFloats(sol.Duals, s.m)
 	for i := 0; i < s.m; i++ {
 		sol.Duals[i] = y[i] * float64(s.rowSign[i]) * s.rowScale[i]
 	}
-	return sol, nil
+}
+
+// growFloats returns a zeroed slice of length n, reusing buf's backing
+// array when it has capacity.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 // evictArtificials pivots basic artificial variables (all at value 0 after
@@ -585,8 +677,8 @@ func (s *simplex) iterate(cost []float64, banned []bool) Status {
 	tol := s.opt.Tol
 	degenerate := 0
 	useBland := false
-	y := make([]float64, s.m)
-	dir := make([]float64, s.m)
+	y := s.scratchY
+	dir := s.scratchDir
 
 	// Stall detection: perturbation can turn exactly-degenerate pivots
 	// into micro-steps that never register as degenerate yet make no
@@ -751,7 +843,7 @@ func (s *simplex) ratioTestHarris(dir []float64, useBland bool) int {
 func (s *simplex) pivot(enter, leave int, dir []float64) {
 	m := s.m
 	if dir == nil {
-		dir = make([]float64, m)
+		dir = s.scratchDir
 		s.directionInto(enter, dir)
 	}
 	pv := dir[leave]
@@ -809,23 +901,27 @@ func (s *simplex) pivot(enter, leave int, dir []float64) {
 }
 
 // refactor rebuilds B⁻¹ and the basic values from scratch for numerical
-// hygiene.
-func (s *simplex) refactor() {
+// hygiene, reusing preallocated buffers. It reports whether the basis
+// matrix inverted cleanly; on a (numerically) singular basis the
+// incrementally-updated inverse is kept, and the basic values are
+// refreshed either way so a caller-side change of b takes effect.
+func (s *simplex) refactor() bool {
 	s.sinceRefactor = 0
 	m := s.m
-	bmat := make([]float64, m*m)
+	bmat := s.bmatBuf
+	for i := range bmat {
+		bmat[i] = 0
+	}
 	for i, j := range s.basis {
 		col := &s.cols[j]
 		for k, r := range col.rows {
 			bmat[int(r)*m+i] = col.vals[k]
 		}
 	}
-	if inv, ok := invertDense(bmat, m); ok {
-		s.binv = inv
+	ok := invertDenseInto(bmat, s.invBuf, m)
+	if ok {
+		s.binv, s.invBuf = s.invBuf, s.binv
 	}
-	// On a (numerically) singular basis the incrementally-updated
-	// inverse is kept; the basic values are refreshed either way so a
-	// caller-side change of b takes effect.
 	for i := 0; i < m; i++ {
 		row := s.binv[i*m : (i+1)*m]
 		v := 0.0
@@ -834,6 +930,7 @@ func (s *simplex) refactor() {
 		}
 		s.xb[i] = v
 	}
+	return ok
 }
 
 // dualInto fills y = c_B · B⁻¹.
@@ -854,25 +951,19 @@ func (s *simplex) dualInto(cost []float64, y []float64) {
 	}
 }
 
-func (s *simplex) dualVector(cost []float64) []float64 {
-	y := make([]float64, s.m)
-	s.dualInto(cost, y)
-	return y
-}
-
-// directionInto fills d = B⁻¹ A_j.
+// directionInto fills d = B⁻¹ A_j, walking binv row-major so the column
+// gather stays cache-friendly.
 func (s *simplex) directionInto(j int, d []float64) {
 	m := s.m
-	for i := 0; i < m; i++ {
-		d[i] = 0
-	}
 	col := &s.cols[j]
-	for k, r := range col.rows {
-		v := col.vals[k]
-		ri := int(r)
-		for i := 0; i < m; i++ {
-			d[i] += s.binv[i*m+ri] * v
+	rows, vals := col.rows, col.vals
+	for i := 0; i < m; i++ {
+		row := s.binv[i*m : (i+1)*m]
+		v := 0.0
+		for k, r := range rows {
+			v += row[r] * vals[k]
 		}
+		d[i] = v
 	}
 }
 
@@ -890,7 +981,23 @@ func dotSparse(y []float64, col *column) float64 {
 func invertDense(a []float64, m int) ([]float64, bool) {
 	work := make([]float64, len(a))
 	copy(work, a)
-	inv := identity(m)
+	inv := make([]float64, m*m)
+	if !invertDenseInto(work, inv, m) {
+		return nil, false
+	}
+	return inv, true
+}
+
+// invertDenseInto inverts the m×m row-major matrix in work into inv,
+// destroying work. Both buffers are caller-provided so the periodic
+// refactorisations allocate nothing.
+func invertDenseInto(work, inv []float64, m int) bool {
+	for i := range inv {
+		inv[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		inv[i*m+i] = 1
+	}
 	for col := 0; col < m; col++ {
 		// Partial pivot.
 		p := col
@@ -902,7 +1009,7 @@ func invertDense(a []float64, m int) ([]float64, bool) {
 			}
 		}
 		if best < 1e-12 {
-			return nil, false
+			return false
 		}
 		if p != col {
 			swapRows(work, m, p, col)
@@ -927,7 +1034,7 @@ func invertDense(a []float64, m int) ([]float64, bool) {
 			}
 		}
 	}
-	return inv, true
+	return true
 }
 
 func swapRows(a []float64, m, i, j int) {
@@ -977,8 +1084,13 @@ func (p *Problem) Objective(x []float64) float64 {
 	return v
 }
 
-// Clone returns a deep copy of the problem, letting callers branch a base
-// formulation (for example, re-solve with extra rows).
+// Clone returns a copy of the problem, letting callers branch a base
+// formulation (for example, re-solve with extra rows or a different
+// objective). Constraint terms are shared copy-on-write — the solvers
+// never mutate them, and the full-capacity re-slice below forces any
+// later AddColumn/AddConstraint append on either copy to reallocate its
+// own backing — so cloning costs one allocation per row instead of a
+// deep copy of every coefficient.
 func (p *Problem) Clone() *Problem {
 	q := &Problem{
 		numVars:     p.numVars,
@@ -987,7 +1099,7 @@ func (p *Problem) Clone() *Problem {
 	}
 	for i, c := range p.constraints {
 		q.constraints[i] = Constraint{
-			Terms: append([]Term(nil), c.Terms...),
+			Terms: c.Terms[:len(c.Terms):len(c.Terms)],
 			Op:    c.Op,
 			RHS:   c.RHS,
 		}

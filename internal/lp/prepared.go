@@ -1,0 +1,445 @@
+package lp
+
+import (
+	"context"
+	"fmt"
+	"math"
+)
+
+// Basis is an opaque snapshot of a simplex basis, captured from an
+// optimal Prepared solve and restorable into a later solve of the same
+// Prepared instance (or another Prepared compiled from a structurally
+// identical problem). Snapshots are cheap — one int per row — which is
+// what makes keeping one warm basis per pricing subproblem affordable.
+type Basis struct {
+	cols []int
+}
+
+// Len returns the number of rows the snapshot covers (0 for an empty
+// snapshot that has never been filled).
+func (b *Basis) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.cols)
+}
+
+// Prepared is a simplex instance compiled once from a Problem and kept
+// alive across solves. The constraint *structure* (rows, columns, and
+// their coefficients) is frozen at Prepare time; between solves the
+// caller may mutate objective coefficients (SetObjectiveCoeff) and
+// right-hand sides (SetRHS) in place. All standard-form arrays, the
+// basis inverse and every pivot-loop workspace persist, so a steady-state
+// re-solve allocates (almost) nothing.
+//
+// Warm starts: Basis captures the optimal basis of a solve; SolveFrom
+// restores it into a later solve. After an objective change the old
+// basis stays primal feasible and the primal simplex resumes from it;
+// after a right-hand-side change it stays *dual* feasible and a dual
+// simplex pass restores primal feasibility first. A snapshot that is
+// stale, singular, or infeasible in any way silently falls back to a
+// cold two-phase solve — warm starting is an optimisation, never a
+// correctness risk.
+//
+// Unlike newSimplex's one-shot layout, the compiled form never flips row
+// signs (the right-hand side may change sign between solves) and gives
+// every row an artificial column whose ±1 coefficient is set from the
+// current RHS sign at solve time, so the cold start is uniform under any
+// RHS. Prepared detaches from the source Problem: later mutations of the
+// Problem are not seen.
+//
+// A Prepared instance is not safe for concurrent use; give each worker
+// goroutine its own (bases may be shared across workers as long as the
+// rounds are externally synchronised).
+type Prepared struct {
+	s       *simplex
+	pertU   []float64 // per-row anti-cycling factor in (0.5, 1.5)
+	bPert   []float64 // perturbed scaled rhs installed at solve start
+	initialBasis []int // the all-artificial cold-start basis
+
+	sol      Solution // reused result; invalidated by the next solve
+	haveOpt  bool     // last solve ended Optimal (Basis is meaningful)
+}
+
+// Prepare compiles the problem for repeated warm-started solves.
+func Prepare(p *Problem, opts Options) (*Prepared, error) {
+	if len(p.constraints) == 0 {
+		return nil, ErrNoConstraints
+	}
+	m := len(p.constraints)
+	s := &simplex{
+		m:       m,
+		numOrig: p.numVars,
+		b:       make([]float64, m),
+		rowSign: make([]int, m),
+	}
+	for i := range s.rowSign {
+		s.rowSign[i] = 1 // rows are never sign-flipped here
+	}
+
+	// Row equilibration, as in newSimplex.
+	s.rowScale = make([]float64, m)
+	for i, c := range p.constraints {
+		maxAbs := 0.0
+		for _, t := range c.Terms {
+			if a := math.Abs(t.Coef); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			maxAbs = 1
+		}
+		s.rowScale[i] = 1 / maxAbs
+	}
+
+	// Columns: originals, then slack/surplus per inequality row, then one
+	// artificial per row (sign installed per solve).
+	extra := 0
+	for _, c := range p.constraints {
+		if c.Op != EQ {
+			extra++
+		}
+	}
+	s.cols = make([]column, p.numVars, p.numVars+extra+m)
+	for i, c := range p.constraints {
+		f := s.rowScale[i]
+		s.b[i] = f * c.RHS
+		for _, t := range c.Terms {
+			col := &s.cols[t.Var]
+			if k := len(col.rows); k > 0 && col.rows[k-1] == int32(i) {
+				col.vals[k-1] += f * t.Coef
+				continue
+			}
+			col.rows = append(col.rows, int32(i))
+			col.vals = append(col.vals, f*t.Coef)
+		}
+	}
+
+	// Column equilibration on the original variables.
+	s.colScale = make([]float64, p.numVars)
+	for j := range s.colScale {
+		maxAbs := 0.0
+		for _, v := range s.cols[j].vals {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			s.colScale[j] = 1
+			continue
+		}
+		s.colScale[j] = 1 / maxAbs
+		for k := range s.cols[j].vals {
+			s.cols[j].vals[k] *= s.colScale[j]
+		}
+	}
+
+	for i, c := range p.constraints {
+		switch c.Op {
+		case LE:
+			s.cols = append(s.cols, column{rows: []int32{int32(i)}, vals: []float64{1}})
+		case GE:
+			s.cols = append(s.cols, column{rows: []int32{int32(i)}, vals: []float64{-1}})
+		}
+	}
+	s.artStart = len(s.cols)
+	for i := 0; i < m; i++ {
+		s.cols = append(s.cols, column{rows: []int32{int32(i)}, vals: []float64{1}})
+	}
+	s.n = len(s.cols)
+
+	s.cost = make([]float64, s.n)
+	for j := 0; j < p.numVars; j++ {
+		s.cost[j] = p.objective[j] * s.colScale[j]
+	}
+
+	s.basis = make([]int, m)
+	s.inBase = make([]bool, s.n)
+	s.bOrig = append([]float64(nil), s.b...)
+	s.binv = make([]float64, m*m)
+	s.xb = make([]float64, m)
+	s.allocScratch()
+	s.opt = opts.withDefaults(m, s.n)
+
+	pp := &Prepared{
+		s:            s,
+		pertU:        make([]float64, m),
+		bPert:        make([]float64, m),
+		initialBasis: make([]int, m),
+	}
+	// Deterministic per-row anti-cycling factors (same xorshift stream as
+	// newSimplex, so tie-breaking behaviour matches the one-shot path).
+	rngState := uint64(0x9e3779b97f4a7c15)
+	for i := range pp.pertU {
+		rngState ^= rngState << 13
+		rngState ^= rngState >> 7
+		rngState ^= rngState << 17
+		pp.pertU[i] = 0.5 + float64(rngState%1024)/1024.0
+	}
+	for i := range pp.initialBasis {
+		pp.initialBasis[i] = s.artStart + i
+		pp.refreshPert(i)
+	}
+	return pp, nil
+}
+
+// refreshPert recomputes the perturbed RHS of row i from its current
+// unperturbed scaled value.
+func (pp *Prepared) refreshPert(i int) {
+	b := pp.s.bOrig[i]
+	pp.bPert[i] = b + 1e-8*pp.pertU[i]*(1+math.Abs(b))
+}
+
+// NumRows returns the compiled row count.
+func (pp *Prepared) NumRows() int { return pp.s.m }
+
+// SetObjectiveCoeff updates the objective coefficient of original
+// variable j for subsequent solves.
+func (pp *Prepared) SetObjectiveCoeff(j int, v float64) {
+	if j < 0 || j >= pp.s.numOrig {
+		panic(fmt.Sprintf("lp: SetObjectiveCoeff(%d) of %d variables", j, pp.s.numOrig))
+	}
+	pp.s.cost[j] = v * pp.s.colScale[j]
+}
+
+// SetRHS updates the right-hand side of row i for subsequent solves. The
+// row's operator and coefficients are unchanged.
+func (pp *Prepared) SetRHS(i int, v float64) {
+	if i < 0 || i >= pp.s.m {
+		panic(fmt.Sprintf("lp: SetRHS(%d) of %d rows", i, pp.s.m))
+	}
+	pp.s.bOrig[i] = pp.s.rowScale[i] * v
+	pp.refreshPert(i)
+}
+
+// SetContext installs the cancellation context polled by subsequent
+// solves; nil runs to completion.
+func (pp *Prepared) SetContext(ctx context.Context) { pp.s.opt.Ctx = ctx }
+
+// Basis snapshots the current basis into dst (allocating one if nil) and
+// returns it. Meaningful after a solve that ended Optimal; otherwise nil
+// is returned and dst is untouched.
+func (pp *Prepared) Basis(dst *Basis) *Basis {
+	if !pp.haveOpt {
+		return nil
+	}
+	if dst == nil {
+		dst = &Basis{}
+	}
+	dst.cols = append(dst.cols[:0], pp.s.basis...)
+	return dst
+}
+
+// Solve runs a cold two-phase solve from the all-artificial basis. The
+// returned Solution (including its X and Duals slices) is owned by the
+// Prepared instance and invalidated by the next solve.
+func (pp *Prepared) Solve() (*Solution, error) { return pp.solveWith(nil) }
+
+// SolveFrom warm-starts from a basis snapshot, falling back to a cold
+// solve whenever the snapshot is nil, stale, numerically singular or
+// infeasible beyond repair. The returned Solution is owned by the
+// Prepared instance and invalidated by the next solve.
+func (pp *Prepared) SolveFrom(basis *Basis) (*Solution, error) { return pp.solveWith(basis) }
+
+func (pp *Prepared) solveWith(basis *Basis) (*Solution, error) {
+	s := pp.s
+	pp.haveOpt = false
+	if s.opt.Ctx != nil {
+		if err := s.opt.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	s.pivots = 0
+	copy(s.b, pp.bPert)
+	pp.installArtificialSigns()
+
+	if basis != nil && pp.tryWarm(basis) {
+		status := s.iterate(s.cost, s.bannedArtificials())
+		if status == Cancelled {
+			return nil, s.opt.Ctx.Err()
+		}
+		if status == Optimal {
+			pp.sol.Status, pp.sol.Iterations = Optimal, s.pivots
+			s.extractInto(&pp.sol)
+			pp.haveOpt = true
+			return &pp.sol, nil
+		}
+		// A warm start that wanders into Unbounded/IterationLimit is a
+		// stale-basis artefact more often than a true verdict: re-verify
+		// with a cold solve before reporting anything.
+		copy(s.b, pp.bPert)
+		pp.installArtificialSigns()
+	}
+
+	pp.resetCold()
+	if err := s.solveInto(&pp.sol); err != nil {
+		return nil, err
+	}
+	pp.haveOpt = pp.sol.Status == Optimal
+	return &pp.sol, nil
+}
+
+// installArtificialSigns points every artificial column in the direction
+// of its row's current (perturbed) RHS, so the all-artificial cold basis
+// is always primal feasible.
+func (pp *Prepared) installArtificialSigns() {
+	s := pp.s
+	for i := 0; i < s.m; i++ {
+		sign := 1.0
+		if s.b[i] < 0 {
+			sign = -1
+		}
+		s.cols[s.artStart+i].vals[0] = sign
+	}
+}
+
+// resetCold restores the all-artificial starting basis: B = diag(±1), so
+// B⁻¹ is its own diagonal and xb = |b| ≥ 0.
+func (pp *Prepared) resetCold() {
+	s := pp.s
+	m := s.m
+	for j := range s.inBase {
+		s.inBase[j] = false
+	}
+	for i := range s.binv {
+		s.binv[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		j := pp.initialBasis[i]
+		s.basis[i] = j
+		s.inBase[j] = true
+		sign := s.cols[s.artStart+i].vals[0]
+		s.binv[i*m+i] = sign
+		s.xb[i] = sign * s.b[i]
+	}
+	s.sinceRefactor = 0
+}
+
+// warmFeasTol is the primal-feasibility slack a restored basis may carry
+// before the warm start is abandoned; matches the solver's self-healing
+// ratio-test slack.
+const warmFeasTol = 1e-7
+
+// tryWarm restores the snapshot and brings it to primal feasibility,
+// reporting whether the primal phase-2 iteration can start from it.
+func (pp *Prepared) tryWarm(basis *Basis) bool {
+	s := pp.s
+	m := s.m
+	if len(basis.cols) != m {
+		return false
+	}
+	for j := range s.inBase {
+		s.inBase[j] = false
+	}
+	for i, j := range basis.cols {
+		if j < 0 || j >= s.n || s.inBase[j] {
+			// Out-of-range or duplicated index: poisoned snapshot.
+			for k := 0; k < i; k++ {
+				s.inBase[basis.cols[k]] = false
+			}
+			return false
+		}
+		s.basis[i] = j
+		s.inBase[j] = true
+	}
+	if !s.refactor() {
+		return false // singular restored basis
+	}
+	// An artificial basic above tolerance means the snapshot's row sign
+	// no longer matches, or the point genuinely violates its row; the
+	// primal/dual machinery below cannot drive it out, so go cold.
+	minXB := 0.0
+	for i, j := range s.basis {
+		if j >= s.artStart && s.xb[i] > warmFeasTol {
+			return false
+		}
+		if s.xb[i] < minXB {
+			minXB = s.xb[i]
+		}
+	}
+	if minXB >= -warmFeasTol {
+		return true // still primal feasible: resume the primal simplex
+	}
+	// RHS drift: the basis is dual feasible but not primal feasible any
+	// more. A handful of dual-simplex pivots usually repairs it.
+	return s.dualIterate(s.cost, s.bannedArtificials(), 50+2*m) == Optimal
+}
+
+// dualIterate runs dual-simplex pivots from a dual-feasible basis until
+// primal feasibility is restored (returning Optimal — the basis is then
+// optimal up to the primal clean-up pass), the pivot budget is exhausted
+// (IterationLimit), or the basis turns out not to be dual feasible /
+// the leaving row admits no entering column (Infeasible). Non-Optimal
+// outcomes mean "fall back to a cold solve", not a verdict on the LP.
+func (s *simplex) dualIterate(cost []float64, banned []bool, maxPivots int) Status {
+	m := s.m
+	y := s.scratchY
+	dir := s.scratchDir
+	const rcTol = 1e-7 // dual-feasibility slack on reduced costs
+
+	for n := 0; n < maxPivots; n++ {
+		if s.opt.Ctx != nil && n&15 == 0 {
+			if s.opt.Ctx.Err() != nil {
+				return Cancelled
+			}
+		}
+		// Leaving row: most negative basic value.
+		leave := -1
+		worst := -warmFeasTol
+		for i, v := range s.xb {
+			if v < worst {
+				worst = v
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return Optimal
+		}
+		s.dualInto(cost, y)
+		lrow := s.binv[leave*m : (leave+1)*m]
+
+		// Entering column: dual ratio test over α_j = (B⁻¹A)_{leave,j} < 0,
+		// minimising rc_j / −α_j; ties prefer the larger |α| pivot.
+		enter := -1
+		bestRatio := math.Inf(1)
+		bestAlpha := 0.0
+		for j := 0; j < s.n; j++ {
+			if s.inBase[j] || (banned != nil && banned[j]) {
+				continue
+			}
+			col := &s.cols[j]
+			alpha := 0.0
+			for k, r := range col.rows {
+				alpha += lrow[r] * col.vals[k]
+			}
+			if alpha >= -1e-9 {
+				continue
+			}
+			rc := cost[j] - dotSparse(y, col)
+			if rc < -rcTol {
+				// The restored basis is not dual feasible after all
+				// (objective must have changed too): dual pivoting would
+				// be unsound, let the caller go cold.
+				return Infeasible
+			}
+			if rc < 0 {
+				rc = 0
+			}
+			ratio := rc / -alpha
+			if ratio < bestRatio-1e-12 || (ratio <= bestRatio+1e-12 && -alpha > -bestAlpha) {
+				bestRatio = ratio
+				bestAlpha = alpha
+				enter = j
+			}
+		}
+		if enter < 0 {
+			// No entering column: the row is unsatisfiable at this basis —
+			// under a changed RHS that usually signals a genuinely
+			// infeasible perturbation; the cold path will decide.
+			return Infeasible
+		}
+		s.directionInto(enter, dir)
+		s.pivot(enter, leave, dir)
+	}
+	return IterationLimit
+}

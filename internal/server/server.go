@@ -118,6 +118,11 @@ type entry struct {
 	solveTime time.Duration
 	served    atomic.Int64
 
+	// state is the interrupted run's column pool when the entry is
+	// degraded (nil on the optimal tier); the background upgrade resumes
+	// column generation from it instead of restarting. Immutable.
+	state *core.CGState
+
 	// sampleMu guards rng: mechanism rows are immutable, the RNG stream
 	// is the only mutable sampler state.
 	sampleMu chanMutex
@@ -308,6 +313,13 @@ func (s *Server) solve(ctx context.Context, spec *serial.SolveSpec) (*entry, err
 		opts.Xi = 0
 		opts.RelGap = 0
 	}
+	// A degraded incumbent for this spec carries the interrupted run's
+	// column pool; resume column generation from it rather than restart.
+	// (Only the background upgrade and post-eviction re-solves can see a
+	// cached entry here — a plain cache hit never reaches solve.)
+	if prev, ok := s.cache.get(spec.Digest()); ok && prev.state != nil {
+		opts.Resume = prev.state
+	}
 	res, solveErr := core.SolveCGCtx(ctx, pr, opts)
 
 	tier := serial.QualityOptimal
@@ -353,7 +365,7 @@ func (s *Server) solve(ctx context.Context, spec *serial.SolveSpec) (*entry, err
 		}
 		bound = 0
 	}
-	return &entry{
+	e := &entry{
 		prob:     pr,
 		mech:     served,
 		etdd:     etdd,
@@ -361,7 +373,13 @@ func (s *Server) solve(ctx context.Context, spec *serial.SolveSpec) (*entry, err
 		tier:     tier,
 		sampleMu: newChanMutex(),
 		rng:      rand.New(rand.NewSource(s.cfg.Seed + s.seq.Add(1))),
-	}, nil
+	}
+	if tier != serial.QualityOptimal && res != nil && res.State != nil {
+		// Keep the interrupted run's pool so the upgrade re-solve starts
+		// where this one stopped.
+		e.state = res.State
+	}
+	return e, nil
 }
 
 // isCancellation reports whether err is a context cancellation or
