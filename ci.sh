@@ -13,8 +13,16 @@ go test -race ./...
 
 # Chaos gate: the fault-injection suite must hold the Geo-I guarantee
 # under injected errors/panics/stalls at every solver site, with the
-# race detector watching the degradation ladder's locks.
+# race detector watching the degradation ladder's locks — and, for the
+# durable store, under injected write/fsync/rename/read failures.
 go test -race -run 'TestChaos' ./internal/server
+go test -race -run 'TestStore' ./internal/server ./internal/store
+
+# Kill-and-restart recovery gate: a real vlpserved process is SIGKILLed
+# after a solve and again mid-solve; its successor over the same store
+# directory must serve the finished mechanism with zero cold solves and
+# complete the interrupted one from its checkpoint.
+go test -count=1 -run 'TestKillRestartRecovery' ./cmd/vlpserved
 
 # Allocation-regression gate: the warm-start hot paths (persistent
 # master re-solve, persistent pricing subproblems) carry AllocsPerRun
@@ -26,3 +34,4 @@ go test -count=1 -run 'Allocs' ./internal/lp ./internal/core
 # introduced parsing crash without stalling the gate.
 go test -fuzz=FuzzNetworkRoundTrip -fuzztime=10s -run '^$' ./internal/serial
 go test -fuzz=FuzzMechanismRoundTrip -fuzztime=10s -run '^$' ./internal/serial
+go test -fuzz=FuzzStoreDecode -fuzztime=10s -run '^$' ./internal/serial

@@ -8,6 +8,7 @@
 //	vlpserved [-addr :8750] [-cache 16] [-solves 2] [-solve-wait 2m]
 //	          [-solve-deadline 2m] [-no-upgrade] [-seed 1]
 //	          [-xi -0.05] [-relgap 0.02]
+//	          [-store-dir DIR] [-checkpoint-rounds 8] [-no-store]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Endpoints (JSON bodies; see internal/serial for the wire structs):
@@ -31,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"syscall"
@@ -38,6 +40,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -50,6 +53,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "base sampler seed")
 	xi := flag.Float64("xi", -0.05, "column-generation termination threshold ξ (≤ 0)")
 	relgap := flag.Float64("relgap", 0.02, "column-generation relative dual-gap stop")
+	storeDir := flag.String("store-dir", "", "durable snapshot store directory; empty selects vlpserved-store under the OS temp dir")
+	checkpointRounds := flag.Int("checkpoint-rounds", 0, "CG rounds between durable mid-solve checkpoints (0 = default 8, negative = no checkpoints)")
+	noStore := flag.Bool("no-store", false, "run purely in-memory: no snapshots, no checkpoints, no warm recovery")
 	drain := flag.Duration("drain", 5*time.Minute, "shutdown drain budget for in-flight solves")
 	cpuprofile := flag.String("cpuprofile", "", "profile CPU from startup until shutdown, written to this file")
 	memprofile := flag.String("memprofile", "", "write a heap/alloc profile at shutdown to this file")
@@ -70,15 +76,32 @@ func main() {
 	}
 	defer writeMemProfile(*memprofile)
 
+	var st *store.Store
+	if !*noStore {
+		dir := *storeDir
+		if dir == "" {
+			dir = filepath.Join(os.TempDir(), "vlpserved-store")
+		}
+		var err error
+		if st, err = store.Open(dir); err != nil {
+			fatalf("store: %v", err)
+		}
+	}
+
 	srv := server.New(server.Config{
-		CacheSize:      *cache,
-		MaxSolves:      *solves,
-		SolveWait:      *solveWait,
-		SolveDeadline:  *solveDeadline,
-		DisableUpgrade: *noUpgrade,
-		Seed:           *seed,
-		CG:             core.CGOptions{Xi: *xi, RelGap: *relgap},
+		CacheSize:        *cache,
+		MaxSolves:        *solves,
+		SolveWait:        *solveWait,
+		SolveDeadline:    *solveDeadline,
+		DisableUpgrade:   *noUpgrade,
+		Seed:             *seed,
+		CG:               core.CGOptions{Xi: *xi, RelGap: *relgap},
+		Store:            st,
+		CheckpointRounds: *checkpointRounds,
 	})
+	if st != nil {
+		fmt.Fprintf(os.Stderr, "vlpserved: durable store at %s\n", st.Dir())
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

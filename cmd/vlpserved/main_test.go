@@ -1,0 +1,241 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/roadnet"
+	"repro/internal/serial"
+)
+
+// buildServed compiles the vlpserved binary once per test run.
+func buildServed(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "vlpserved")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freeAddr reserves a listen address for a child process. The port is
+// released before the child binds it — a benign race in a test that owns
+// the machine's ephemeral range for milliseconds.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// served is one vlpserved child process under test control.
+type served struct {
+	t    *testing.T
+	cmd  *exec.Cmd
+	addr string
+}
+
+func startServed(t *testing.T, bin, addr string, args ...string) *served {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", addr}, args...)...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s := &served{t: t, cmd: cmd, addr: addr}
+	t.Cleanup(func() { s.kill() })
+	s.waitHealthy()
+	return s
+}
+
+func (s *served) kill() {
+	if s.cmd.Process != nil {
+		_ = s.cmd.Process.Signal(syscall.SIGKILL)
+		_, _ = s.cmd.Process.Wait()
+	}
+}
+
+func (s *served) url(path string) string { return "http://" + s.addr + path }
+
+func (s *served) waitHealthy() {
+	s.t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(s.url("/healthz"))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	s.t.Fatal("vlpserved never became healthy")
+}
+
+// stats fetches and decodes GET /stats into a loose map.
+func (s *served) stats() map[string]float64 {
+	s.t.Helper()
+	resp, err := http.Get(s.url("/stats"))
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		s.t.Fatal(err)
+	}
+	out := map[string]float64{}
+	for k, v := range raw {
+		if f, ok := v.(float64); ok {
+			out[k] = f
+		}
+	}
+	return out
+}
+
+// waitStat polls /stats until counter ≥ want.
+func (s *served) waitStat(counter string, want float64, timeout time.Duration) {
+	s.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if s.stats()[counter] >= want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	s.t.Fatalf("%s never reached %v (have %v)", counter, want, s.stats()[counter])
+}
+
+// solveSpec posts spec to /solve and returns the decoded response.
+func (s *served) solveSpec(spec *serial.SolveSpec, timeout time.Duration) (map[string]interface{}, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Post(s.url("/solve"), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func quickSpec(t *testing.T) *serial.SolveSpec {
+	t.Helper()
+	rng := rand.New(rand.NewSource(8))
+	net := serial.FromGraph(roadnet.Grid(rng, roadnet.GridConfig{Rows: 2, Cols: 2, Spacing: 0.3}))
+	return &serial.SolveSpec{Network: net, Delta: 0.3, Epsilon: 5}
+}
+
+// slowSpec is sized so an exact solve takes a couple of seconds across
+// dozens of CG rounds — wide enough a SIGKILL reliably lands mid-solve.
+func slowSpec(t *testing.T) *serial.SolveSpec {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	net := serial.FromGraph(roadnet.Grid(rng, roadnet.GridConfig{
+		Rows: 3, Cols: 3, Spacing: 0.3, OneWayFrac: 0.5, WeightJitter: 0.15,
+	}))
+	return &serial.SolveSpec{Network: net, Delta: 0.15, Epsilon: 5, Exact: true}
+}
+
+// TestKillRestartRecovery is the end-to-end crash suite: a vlpserved
+// process is SIGKILLed — once after completing a solve, once in the
+// middle of one — and its successor over the same store directory must
+// serve the completed mechanism without a cold solve and finish the
+// interrupted solve from its checkpoint.
+func TestKillRestartRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills real server processes")
+	}
+	bin := buildServed(t)
+	dir := t.TempDir()
+	spec := quickSpec(t)
+
+	// Life 1: solve, confirm the snapshot is durable, die without warning.
+	s1 := startServed(t, bin, freeAddr(t), "-store-dir", dir)
+	first, err := s1.solveSpec(spec, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.waitStat("store_writes", 1, 10*time.Second)
+	s1.kill()
+
+	// Life 2: the same spec must be served warm from disk — zero solves.
+	s2 := startServed(t, bin, freeAddr(t), "-store-dir", dir)
+	second, err := s2.solveSpec(spec, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.stats()
+	if st["solves"] != 0 {
+		t.Fatalf("warm restart ran %v solves, want 0", st["solves"])
+	}
+	if st["store_loads"] < 1 {
+		t.Fatalf("store_loads = %v, want ≥ 1", st["store_loads"])
+	}
+	if first["etdd"] != second["etdd"] {
+		t.Fatalf("served ETDD changed across restart: %v → %v", first["etdd"], second["etdd"])
+	}
+	if first["key"] != second["key"] {
+		t.Fatalf("digest changed across restart: %v → %v", first["key"], second["key"])
+	}
+
+	// Life 2, part two: start a slow exact solve, kill mid-run as soon as
+	// a checkpoint is durable.
+	slow := slowSpec(t)
+	go func() {
+		// The request dies with the process; the solve's progress is the
+		// checkpoint file, not the response.
+		_, _ = s2.solveSpec(slow, 5*time.Minute)
+	}()
+	s2.waitStat("checkpoint_writes", 1, time.Minute)
+	s2.kill()
+
+	// Life 3: the interrupted solve is recovered and finished in the
+	// background; the quick spec still serves warm alongside it.
+	s3 := startServed(t, bin, freeAddr(t), "-store-dir", dir)
+	s3.waitStat("recovered_solves", 1, 10*time.Second)
+	if _, err := s3.solveSpec(spec, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	s3.waitStat("store_writes", 1, 2*time.Minute) // recovered solve persisted optimal
+	st = s3.stats()
+	if st["solves"] != 0 {
+		t.Fatalf("restart cold-solved %v specs, want 0 (recovery is background, quick spec is warm)", st["solves"])
+	}
+	// The recovered mechanism is served from cache without any new solve.
+	res, err := s3.solveSpec(slow, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["cached"] != true {
+		t.Fatal("recovered solve not served from cache")
+	}
+	if q, ok := res["quality"].(string); ok && q != "" && q != serial.QualityOptimal {
+		t.Fatalf("recovered solve served tier %q, want optimal", q)
+	}
+}

@@ -61,6 +61,16 @@ type CGOptions struct {
 	// OnIteration, when non-nil, observes each round (for tracing and
 	// convergence experiments).
 	OnIteration func(iter int, stats CGIteration)
+	// OnState, when non-nil and CheckpointEvery > 0, receives an
+	// immutable snapshot of the column pool after every CheckpointEvery
+	// completed rounds. This is the serving layer's checkpoint hook: the
+	// snapshot is Resume-able, so a process killed between rounds can
+	// restart column generation from its last persisted pool instead of
+	// from scratch. The callback runs synchronously on the solver
+	// goroutine — a slow callback extends the solve by its own latency.
+	OnState func(iter int, st *CGState)
+	// CheckpointEvery is the round period of OnState; 0 disables it.
+	CheckpointEvery int
 }
 
 func (o CGOptions) withDefaults() CGOptions {
@@ -418,6 +428,11 @@ rounds:
 		res.Iterations = append(res.Iterations, it)
 		if opts.OnIteration != nil {
 			opts.OnIteration(iter, it)
+		}
+		if opts.OnState != nil && opts.CheckpointEvery > 0 && (iter+1)%opts.CheckpointEvery == 0 {
+			// Snapshot the pool under a fresh slice header: existing
+			// columns are immutable, only the slice itself still grows.
+			opts.OnState(iter, &CGState{k: k, columns: append([]cgColumn(nil), columns...)})
 		}
 
 		converged := it.MinZeta >= xi && it.ColumnsAdded == 0

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// CGStateSnapshot is the exported, serialisable form of a CGState: the
+// column pool of a (possibly interrupted) column-generation run, flat
+// enough for a wire encoder. Snapshot and RestoreCGState convert in both
+// directions; the opaque CGState stays the only type the solver accepts,
+// so every restored pool passes through RestoreCGState's validation
+// before CGOptions.Resume can see it.
+type CGStateSnapshot struct {
+	// K is the interval count of the problem the pool was generated on.
+	K int
+	// Columns are the pooled extreme points, one per admitted column.
+	Columns []CGColumnSnapshot
+}
+
+// CGColumnSnapshot is one extreme point ẑ of polyhedron Λ_l with its
+// objective contribution.
+type CGColumnSnapshot struct {
+	// L is the polyhedron (obfuscated-interval) index, in [0, K).
+	L int
+	// Z holds the K entries of the extreme point, each in [0, 1].
+	Z []float64
+	// Cost is Σ_i c_{i,l} Z_i under the problem's cost matrix.
+	Cost float64
+}
+
+// Snapshot exports the state's column pool. The returned snapshot shares
+// no mutable storage obligations with the solver — CGState columns are
+// immutable once created — but callers must treat the nested slices as
+// read-only all the same. A nil state snapshots to nil.
+func (st *CGState) Snapshot() *CGStateSnapshot {
+	if st == nil {
+		return nil
+	}
+	s := &CGStateSnapshot{K: st.k, Columns: make([]CGColumnSnapshot, len(st.columns))}
+	for i, c := range st.columns {
+		s.Columns[i] = CGColumnSnapshot{L: c.l, Z: c.z, Cost: c.cost}
+	}
+	return s
+}
+
+// RestoreCGState rebuilds an opaque CGState from a snapshot, validating
+// it strictly: the shape must be internally consistent (every column of
+// length K with L in range), every value finite with Z entries in
+// [0, 1] and non-negative costs, and the pool must cover every convexity
+// row — the same structural requirement CGOptions.Resume enforces, so a
+// restored state is never silently ignored by the solver for a reason
+// validation could have caught. Untrusted (disk, wire) snapshots must
+// come through here. A nil snapshot restores to nil without error.
+func RestoreCGState(s *CGStateSnapshot) (*CGState, error) {
+	if s == nil {
+		return nil, nil
+	}
+	if s.K < 1 {
+		return nil, fmt.Errorf("core: CG state has K = %d", s.K)
+	}
+	if len(s.Columns) == 0 {
+		return nil, fmt.Errorf("core: CG state has no columns")
+	}
+	covered := make([]bool, s.K)
+	st := &CGState{k: s.K, columns: make([]cgColumn, len(s.Columns))}
+	for i, c := range s.Columns {
+		if c.L < 0 || c.L >= s.K {
+			return nil, fmt.Errorf("core: CG state column %d has L = %d outside [0, %d)", i, c.L, s.K)
+		}
+		if len(c.Z) != s.K {
+			return nil, fmt.Errorf("core: CG state column %d has %d entries, want %d", i, len(c.Z), s.K)
+		}
+		for j, v := range c.Z {
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				return nil, fmt.Errorf("core: CG state column %d entry %d = %v outside [0, 1]", i, j, v)
+			}
+		}
+		if math.IsNaN(c.Cost) || math.IsInf(c.Cost, 0) || c.Cost < 0 {
+			return nil, fmt.Errorf("core: CG state column %d has cost %v", i, c.Cost)
+		}
+		covered[c.L] = true
+		st.columns[i] = cgColumn{l: c.L, z: c.Z, cost: c.Cost}
+	}
+	for l, ok := range covered {
+		if !ok {
+			return nil, fmt.Errorf("core: CG state covers no column for polyhedron %d", l)
+		}
+	}
+	return st, nil
+}

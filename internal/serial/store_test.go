@@ -1,0 +1,179 @@
+package serial
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/roadnet"
+)
+
+// storedTestSpec is a small valid spec shared by the snapshot tests.
+func storedTestSpec(tb testing.TB) SolveSpec {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(21))
+	net := FromGraph(roadnet.Grid(rng, roadnet.GridConfig{Rows: 2, Cols: 2, Spacing: 0.3}))
+	return SolveSpec{Network: net, Delta: 0.3, Epsilon: 5}
+}
+
+// storedTestEntry builds a valid degraded entry snapshot (uniform rows,
+// one CG column per block) over k intervals.
+func storedTestEntry(tb testing.TB, k int) *StoredEntry {
+	tb.Helper()
+	z := make([]float64, k*k)
+	for i := range z {
+		z[i] = 1 / float64(k)
+	}
+	cols := make([]StoredColumn, k)
+	for l := range cols {
+		zc := make([]float64, k)
+		zc[l] = 1
+		cols[l] = StoredColumn{L: l, Z: zc, Cost: 0.25}
+	}
+	return &StoredEntry{
+		Spec:  storedTestSpec(tb),
+		Tier:  QualityIncumbent,
+		ETDD:  0.5,
+		Bound: 0.25,
+		K:     k,
+		Z:     z,
+		State: &StoredState{K: k, Cols: cols},
+	}
+}
+
+func TestStoredEntryRoundTrip(t *testing.T) {
+	for _, withState := range []bool{true, false} {
+		e := storedTestEntry(t, 3)
+		if !withState {
+			e.State = nil
+			e.Tier = QualityOptimal
+		}
+		data, err := EncodeStoredEntry(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeStoredEntry(data)
+		if err != nil {
+			t.Fatalf("withState=%v: %v", withState, err)
+		}
+		if got.Tier != e.Tier || got.ETDD != e.ETDD || got.Bound != e.Bound || got.K != e.K {
+			t.Fatalf("metadata changed: %+v vs %+v", got, e)
+		}
+		if got.Spec.Digest() != e.Spec.Digest() {
+			t.Fatal("spec digest changed across round trip")
+		}
+		for i := range e.Z {
+			if got.Z[i] != e.Z[i] {
+				t.Fatalf("Z[%d] changed: %v vs %v", i, got.Z[i], e.Z[i])
+			}
+		}
+		if withState {
+			if got.State == nil || got.State.K != e.State.K || len(got.State.Cols) != len(e.State.Cols) {
+				t.Fatal("state dropped or reshaped across round trip")
+			}
+		} else if got.State != nil {
+			t.Fatal("state appeared from nowhere")
+		}
+		// Deterministic: re-encoding the decoded value is byte-identical.
+		data2, err := EncodeStoredEntry(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, data2) {
+			t.Fatal("entry encoding is not a fixed point")
+		}
+	}
+}
+
+func TestStoredCheckpointRoundTrip(t *testing.T) {
+	e := storedTestEntry(t, 3)
+	c := &StoredCheckpoint{Spec: e.Spec, Rounds: 7, State: *e.State}
+	data, err := EncodeStoredCheckpoint(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeStoredCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rounds != 7 || got.Spec.Digest() != c.Spec.Digest() || len(got.State.Cols) != len(c.State.Cols) {
+		t.Fatalf("checkpoint changed across round trip: %+v", got)
+	}
+	data2, err := EncodeStoredCheckpoint(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("checkpoint encoding is not a fixed point")
+	}
+
+	// The two snapshot kinds must not decode as each other.
+	if _, err := DecodeStoredEntry(data); err == nil {
+		t.Fatal("checkpoint decoded as an entry")
+	}
+	entryData, err := EncodeStoredEntry(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeStoredCheckpoint(entryData); err == nil {
+		t.Fatal("entry decoded as a checkpoint")
+	}
+}
+
+// TestStoredDecodeRejectsCorruption: every byte-level corruption — bit
+// flips anywhere, truncation at every length, trailing garbage — must be
+// rejected (and must not panic).
+func TestStoredDecodeRejectsCorruption(t *testing.T) {
+	data, err := EncodeStoredEntry(storedTestEntry(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit flips: every byte position, one flipped bit.
+	for i := range data {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 1 << (i % 8)
+		if _, err := DecodeStoredEntry(bad); err == nil {
+			t.Fatalf("accepted snapshot with bit flip at byte %d", i)
+		}
+	}
+	// Truncations at every length.
+	for n := 0; n < len(data); n++ {
+		if _, err := DecodeStoredEntry(data[:n]); err == nil {
+			t.Fatalf("accepted snapshot truncated to %d bytes", n)
+		}
+	}
+	// Trailing garbage breaks the checksum.
+	if _, err := DecodeStoredEntry(append(append([]byte(nil), data...), 0)); err == nil {
+		t.Fatal("accepted snapshot with trailing garbage")
+	}
+}
+
+// TestStoredValidateRejectsBadValues: encode refuses snapshots whose
+// fields violate the invariants the decoder would reject, so a corrupt
+// snapshot can never be committed by a correct writer.
+func TestStoredValidateRejectsBadValues(t *testing.T) {
+	cases := map[string]func(*StoredEntry){
+		"NaN in Z":          func(e *StoredEntry) { e.Z[0] = math.NaN() },
+		"Inf in Z":          func(e *StoredEntry) { e.Z[0] = math.Inf(1) },
+		"negative row":      func(e *StoredEntry) { e.Z[0] = -0.5; e.Z[1] += 0.5 },
+		"row not summing":   func(e *StoredEntry) { e.Z[0] += 0.5 },
+		"bad tier":          func(e *StoredEntry) { e.Tier = "bogus" },
+		"negative ETDD":     func(e *StoredEntry) { e.ETDD = -1 },
+		"NaN bound":         func(e *StoredEntry) { e.Bound = math.NaN() },
+		"K mismatch":        func(e *StoredEntry) { e.K = 2 },
+		"state K mismatch":  func(e *StoredEntry) { e.State.K = 2 },
+		"state col L":       func(e *StoredEntry) { e.State.Cols[0].L = 99 },
+		"state col NaN":     func(e *StoredEntry) { e.State.Cols[0].Z[0] = math.NaN() },
+		"state col above 1": func(e *StoredEntry) { e.State.Cols[0].Z[0] = 1.5 },
+		"spec epsilon":      func(e *StoredEntry) { e.Spec.Epsilon = -1 },
+	}
+	for name, mutate := range cases {
+		e := storedTestEntry(t, 3)
+		mutate(e)
+		if _, err := EncodeStoredEntry(e); err == nil {
+			t.Errorf("%s: encode accepted an invalid snapshot", name)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"errors"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/serial"
+	"repro/internal/store"
+)
+
+// Durable-store glue: converting between the in-memory cache entry and
+// its on-disk snapshot, the checkpoint write path, and startup recovery.
+// Everything here is best-effort by design — the store makes the server
+// cheaper to restart, never less available: a write failure costs
+// durability of one snapshot, a read failure or corrupt file costs one
+// cold solve, and neither ever surfaces to a client.
+
+// checkpointEvery resolves the effective checkpoint cadence: zero when
+// no store is configured or checkpointing is disabled.
+func (s *Server) checkpointEvery() int {
+	if s.store == nil || s.cfg.CheckpointRounds < 0 {
+		return 0
+	}
+	if s.cfg.CheckpointRounds == 0 {
+		return defaultCheckpointRounds
+	}
+	return s.cfg.CheckpointRounds
+}
+
+// storedStateFrom converts a solver column pool to its wire shape.
+func storedStateFrom(st *core.CGState) *serial.StoredState {
+	snap := st.Snapshot()
+	if snap == nil {
+		return nil
+	}
+	ss := &serial.StoredState{K: snap.K, Cols: make([]serial.StoredColumn, len(snap.Columns))}
+	for i, c := range snap.Columns {
+		ss.Cols[i] = serial.StoredColumn{L: c.L, Z: c.Z, Cost: c.Cost}
+	}
+	return ss
+}
+
+// restoreState converts a wire column pool back to a solver state,
+// re-running core's strict validation (disk bytes are untrusted even
+// after the checksum: the two validators guard different invariants).
+func restoreState(ss *serial.StoredState) (*core.CGState, error) {
+	if ss == nil {
+		return nil, nil
+	}
+	snap := &core.CGStateSnapshot{K: ss.K, Columns: make([]core.CGColumnSnapshot, len(ss.Cols))}
+	for i, c := range ss.Cols {
+		snap.Columns[i] = core.CGColumnSnapshot{L: c.L, Z: c.Z, Cost: c.Cost}
+	}
+	return core.RestoreCGState(snap)
+}
+
+// persistEntry snapshots a completed entry to the store. On the optimal
+// tier the mid-solve checkpoint (now superseded) and the recovery
+// warm-start are dropped too. No-op without a store; write failures are
+// swallowed — the entry still serves from memory.
+func (s *Server) persistEntry(key string, spec *serial.SolveSpec, e *entry) {
+	if s.store == nil {
+		return
+	}
+	se := &serial.StoredEntry{
+		Spec:  *spec,
+		Tier:  e.tier,
+		ETDD:  e.etdd,
+		Bound: e.bound,
+		K:     e.mech.K(),
+		Z:     e.mech.Z,
+		State: storedStateFrom(e.state),
+	}
+	if err := s.store.WriteEntry(se); err != nil {
+		return
+	}
+	s.stats.storeWrote()
+	if e.tier == serial.QualityOptimal {
+		s.store.DeleteCheckpoint(key)
+		s.resume.Delete(key)
+	}
+}
+
+// writeCheckpoint durably snapshots a mid-solve column pool; called from
+// the solver's OnState hook every checkpointEvery rounds.
+func (s *Server) writeCheckpoint(spec *serial.SolveSpec, rounds int, st *core.CGState) {
+	ss := storedStateFrom(st)
+	if ss == nil {
+		return
+	}
+	ck := &serial.StoredCheckpoint{Spec: *spec, Rounds: rounds, State: *ss}
+	if err := s.store.WriteCheckpoint(ck); err != nil {
+		return
+	}
+	s.stats.checkpointWrote()
+}
+
+// entryFromStore rebuilds a servable cache entry from the durable
+// snapshot for key, or returns nil (cold solve required). The snapshot
+// is never trusted into the serving path as-is: the mechanism must match
+// the spec's own discretisation, validate as row-stochastic, and pass
+// the same EnforceGeoI repair gate every freshly solved mechanism
+// passes — a snapshot that fails any of it costs a re-solve, never a
+// privacy-violating mechanism. A decode-valid snapshot whose semantics
+// are off is left in place: the re-solve's persist overwrites it.
+func (s *Server) entryFromStore(key string, spec *serial.SolveSpec) *entry {
+	if s.store == nil {
+		return nil
+	}
+	se, err := s.store.LoadEntry(key)
+	if err != nil {
+		if errors.Is(err, store.ErrNotFound) {
+			return nil
+		}
+		s.stats.storeLoadFailed(errors.Is(err, store.ErrCorrupt))
+		return nil
+	}
+	pr, err := s.buildProblem(spec)
+	if err != nil {
+		s.stats.storeLoadFailed(false)
+		return nil
+	}
+	if pr.Part.K() != se.K {
+		// The snapshot was written against a different discretisation
+		// (version skew); its matrix means nothing for this problem.
+		s.stats.storeLoadFailed(false)
+		return nil
+	}
+	mech := &core.Mechanism{Part: pr.Part, Z: se.Z}
+	if err := mech.Validate(); err != nil {
+		s.stats.storeLoadFailed(false)
+		return nil
+	}
+	served, etdd, err := pr.EnforceGeoI(mech, geoITol)
+	if err != nil {
+		s.stats.storeLoadFailed(false)
+		return nil
+	}
+	e := &entry{
+		key:      key,
+		prob:     pr,
+		mech:     served,
+		etdd:     etdd,
+		bound:    se.Bound,
+		tier:     se.Tier,
+		sampleMu: newChanMutex(),
+		rng:      rand.New(rand.NewSource(s.cfg.Seed + s.seq.Add(1))),
+	}
+	if se.State != nil {
+		// A failed state restore only loses the warm start, not the entry.
+		if st, err := restoreState(se.State); err == nil {
+			e.state = st
+		}
+	}
+	return e
+}
+
+// recoverFromStore scans the store at startup: corrupt files are
+// quarantined (counted, never fatal), checkpoints of solves the previous
+// process never finished are turned into warm-starts and re-enqueued in
+// the background, and completed entries stay on disk for lazy loading on
+// first request. Called from New before the server accepts traffic.
+func (s *Server) recoverFromStore() {
+	rep, err := s.store.Scan()
+	if err != nil {
+		// Unreadable directory: run as a purely in-memory server.
+		return
+	}
+	s.stats.scanQuarantined(rep.Quarantined)
+	optimal := make(map[string]bool, len(rep.Entries))
+	for _, se := range rep.Entries {
+		if se.Tier == serial.QualityOptimal {
+			optimal[se.Digest] = true
+		}
+	}
+	for _, ck := range rep.Checkpoints {
+		spec := ck.Spec
+		digest := spec.Digest()
+		if optimal[digest] {
+			// The solve finished (optimal entry on disk) but the process
+			// died before the checkpoint was cleaned up. Stale; drop it.
+			s.store.DeleteCheckpoint(digest)
+			continue
+		}
+		st, err := restoreState(&ck.State)
+		if err != nil {
+			s.stats.storeLoadFailed(false)
+			s.store.DeleteCheckpoint(digest)
+			continue
+		}
+		s.resume.Store(digest, st)
+		s.stats.recovered()
+		// Re-enqueue the interrupted solve: scheduleUpgrade runs it on
+		// the root context, warm from the resume map, and persists +
+		// promotes the result when it reaches the optimal tier.
+		s.scheduleUpgrade(digest, &spec)
+	}
+}

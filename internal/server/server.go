@@ -49,6 +49,7 @@ import (
 	"repro/internal/discretize"
 	"repro/internal/roadnet"
 	"repro/internal/serial"
+	"repro/internal/store"
 )
 
 // geoITol is the violation ceiling enforced on every served mechanism;
@@ -83,7 +84,23 @@ type Config struct {
 	// CG overrides the column-generation options for non-exact specs;
 	// zero value selects the solver defaults used by vlp.Build.
 	CG core.CGOptions
+
+	// Store, when non-nil, makes mechanisms durable: completed entries
+	// and mid-solve checkpoints are snapshotted to disk, cache misses
+	// check the store before paying for a cold solve, and New replays
+	// interrupted solves found on disk. Nil (the default) keeps the
+	// server purely in-memory.
+	Store *store.Store
+	// CheckpointRounds is how many completed CG rounds pass between
+	// durable mid-solve checkpoints when Store is set: 0 selects the
+	// default (8), negative disables checkpointing while keeping entry
+	// persistence.
+	CheckpointRounds int
 }
+
+// defaultCheckpointRounds is the checkpoint cadence when a store is
+// configured but CheckpointRounds is zero.
+const defaultCheckpointRounds = 8
 
 func (c Config) withDefaults() Config {
 	if c.CacheSize <= 0 {
@@ -187,6 +204,13 @@ type Server struct {
 	bg        sync.WaitGroup
 	upgrading sync.Map
 
+	// store is the durable snapshot store (nil without Config.Store);
+	// resume maps spec digest → *core.CGState restored from an on-disk
+	// checkpoint, consumed by solve as a warm-start and cleared when the
+	// digest reaches the optimal tier.
+	store  *store.Store
+	resume sync.Map
+
 	// solveFn builds the entry for a validated spec; tests substitute a
 	// stub to count and pace solves deterministically.
 	solveFn func(ctx context.Context, spec *serial.SolveSpec) (*entry, error)
@@ -204,6 +228,10 @@ func New(cfg Config) *Server {
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.solveFn = s.solve
+	s.store = cfg.Store
+	if s.store != nil {
+		s.recoverFromStore()
+	}
 	return s
 }
 
@@ -234,6 +262,17 @@ func (s *Server) mechanismFor(ctx context.Context, spec *serial.SolveSpec) (*ent
 		if s.closed.Load() {
 			return nil, ErrClosed
 		}
+		// A durable snapshot beats a cold solve: consult the store before
+		// competing for a solve slot, so restarts and LRU evictions cost a
+		// disk read, not minutes of column generation.
+		if e := s.entryFromStore(key, spec); e != nil {
+			evicted := s.cache.add(key, e)
+			s.stats.storeLoaded(evicted)
+			if e.tier != serial.QualityOptimal {
+				s.scheduleUpgrade(key, spec)
+			}
+			return e, nil
+		}
 		select {
 		case s.slots <- struct{}{}:
 		default:
@@ -251,6 +290,7 @@ func (s *Server) mechanismFor(ctx context.Context, spec *serial.SolveSpec) (*ent
 		e.solveTime = time.Since(start)
 		evicted := s.cache.add(key, e)
 		s.stats.solved(e.solveTime, evicted)
+		s.persistEntry(key, spec, e)
 		if e.tier != serial.QualityOptimal {
 			s.scheduleUpgrade(key, spec)
 		}
@@ -316,9 +356,21 @@ func (s *Server) solve(ctx context.Context, spec *serial.SolveSpec) (*entry, err
 	// A degraded incumbent for this spec carries the interrupted run's
 	// column pool; resume column generation from it rather than restart.
 	// (Only the background upgrade and post-eviction re-solves can see a
-	// cached entry here — a plain cache hit never reaches solve.)
-	if prev, ok := s.cache.get(spec.Digest()); ok && prev.state != nil {
+	// cached entry here — a plain cache hit never reaches solve.) Second
+	// choice: a checkpoint recovered from disk after a restart.
+	key := spec.Digest()
+	if prev, ok := s.cache.get(key); ok && prev.state != nil {
 		opts.Resume = prev.state
+	} else if st, ok := s.resume.Load(key); ok {
+		opts.Resume = st.(*core.CGState)
+	}
+	// With a store configured, periodically snapshot the run's column
+	// pool so a kill mid-solve costs at most CheckpointRounds rounds.
+	if every := s.checkpointEvery(); every > 0 {
+		opts.CheckpointEvery = every
+		opts.OnState = func(iter int, st *core.CGState) {
+			s.writeCheckpoint(spec, iter+1, st)
+		}
 	}
 	res, solveErr := core.SolveCGCtx(ctx, pr, opts)
 
@@ -413,6 +465,7 @@ func (s *Server) scheduleUpgrade(key string, spec *serial.SolveSpec) {
 		e.solveTime = time.Since(start)
 		s.cache.add(key, e)
 		s.stats.upgraded()
+		s.persistEntry(key, spec, e)
 	}()
 }
 

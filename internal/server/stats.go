@@ -21,6 +21,14 @@ type stats struct {
 	nUpgrades  uint64 // degraded entries promoted by a background re-solve
 	solveTotal time.Duration
 	solveMax   time.Duration
+
+	// Durable-store counters.
+	storeWrites  uint64 // entry snapshots committed to disk
+	storeLoads   uint64 // cache misses answered from disk instead of a solve
+	storeLoadErr uint64 // snapshot loads that failed (corrupt or I/O)
+	nQuarantined uint64 // corrupt snapshots moved aside, scan + load paths
+	nRecovered   uint64 // interrupted solves re-enqueued from checkpoints
+	ckptWrites   uint64 // mid-solve checkpoints committed to disk
 }
 
 func (s *stats) hit() {
@@ -71,6 +79,46 @@ func (s *stats) upgraded() {
 	s.mu.Unlock()
 }
 
+func (s *stats) storeWrote() {
+	s.mu.Lock()
+	s.storeWrites++
+	s.mu.Unlock()
+}
+
+func (s *stats) storeLoaded(evicted int) {
+	s.mu.Lock()
+	s.storeLoads++
+	s.evicted += uint64(evicted)
+	s.mu.Unlock()
+}
+
+func (s *stats) storeLoadFailed(quarantined bool) {
+	s.mu.Lock()
+	s.storeLoadErr++
+	if quarantined {
+		s.nQuarantined++
+	}
+	s.mu.Unlock()
+}
+
+func (s *stats) scanQuarantined(n int) {
+	s.mu.Lock()
+	s.nQuarantined += uint64(n)
+	s.mu.Unlock()
+}
+
+func (s *stats) recovered() {
+	s.mu.Lock()
+	s.nRecovered++
+	s.mu.Unlock()
+}
+
+func (s *stats) checkpointWrote() {
+	s.mu.Lock()
+	s.ckptWrites++
+	s.mu.Unlock()
+}
+
 func (s *stats) solved(d time.Duration, evicted int) {
 	s.mu.Lock()
 	s.solves++
@@ -97,24 +145,36 @@ type MechStats struct {
 
 // StatsSnapshot is the GET /stats payload.
 type StatsSnapshot struct {
-	CacheHits    uint64  `json:"cache_hits"`
-	CacheMisses  uint64  `json:"cache_misses"`
-	CacheLen     int     `json:"cache_len"`
-	CacheEvicted uint64  `json:"cache_evicted"`
-	Solves       uint64  `json:"solves"`
-	SolveErrors  uint64  `json:"solve_errors"`
-	Rejected     uint64  `json:"rejected"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	CacheLen     int    `json:"cache_len"`
+	CacheEvicted uint64 `json:"cache_evicted"`
+	Solves       uint64 `json:"solves"`
+	SolveErrors  uint64 `json:"solve_errors"`
+	Rejected     uint64 `json:"rejected"`
 	// DegradedServes counts responses served from a non-optimal
 	// (incumbent or fallback) mechanism; CancelledSolves counts solves
 	// interrupted by deadline/abandonment/shutdown; PanicRecoveries
 	// counts solver panics converted into ladder rungs; Upgrades counts
 	// degraded entries promoted by a background re-solve.
-	DegradedServes  uint64  `json:"degraded_serves"`
-	CancelledSolves uint64  `json:"cancelled_solves"`
-	PanicRecoveries uint64  `json:"panic_recoveries"`
-	Upgrades        uint64  `json:"upgrades"`
-	AvgSolveMs      float64 `json:"avg_solve_ms"`
-	MaxSolveMs      float64 `json:"max_solve_ms"`
+	DegradedServes  uint64 `json:"degraded_serves"`
+	CancelledSolves uint64 `json:"cancelled_solves"`
+	PanicRecoveries uint64 `json:"panic_recoveries"`
+	Upgrades        uint64 `json:"upgrades"`
+	// Durability counters. StoreWrites/CheckpointWrites count snapshots
+	// committed; StoreLoads counts cache misses answered warm from disk
+	// (no solve ran); StoreLoadErrors counts snapshot loads that failed;
+	// CorruptQuarantined counts files moved aside as corrupt across scan
+	// and load paths; RecoveredSolves counts interrupted solves
+	// re-enqueued from checkpoints after a restart.
+	StoreWrites        uint64  `json:"store_writes"`
+	StoreLoads         uint64  `json:"store_loads"`
+	StoreLoadErrors    uint64  `json:"store_load_errors"`
+	CorruptQuarantined uint64  `json:"corrupt_quarantined"`
+	RecoveredSolves    uint64  `json:"recovered_solves"`
+	CheckpointWrites   uint64  `json:"checkpoint_writes"`
+	AvgSolveMs         float64 `json:"avg_solve_ms"`
+	MaxSolveMs         float64 `json:"max_solve_ms"`
 	// Mechanisms lists the cached mechanisms, most recently used first,
 	// with their ETDD so operators can watch quality loss per network.
 	Mechanisms []MechStats `json:"mechanisms"`
@@ -134,7 +194,15 @@ func (s *stats) snapshot(cache *mechCache) StatsSnapshot {
 		CancelledSolves: s.nCancelled,
 		PanicRecoveries: s.nPanics,
 		Upgrades:        s.nUpgrades,
-		MaxSolveMs:      float64(s.solveMax) / float64(time.Millisecond),
+
+		StoreWrites:        s.storeWrites,
+		StoreLoads:         s.storeLoads,
+		StoreLoadErrors:    s.storeLoadErr,
+		CorruptQuarantined: s.nQuarantined,
+		RecoveredSolves:    s.nRecovered,
+		CheckpointWrites:   s.ckptWrites,
+
+		MaxSolveMs: float64(s.solveMax) / float64(time.Millisecond),
 	}
 	if s.solves > 0 {
 		snap.AvgSolveMs = float64(s.solveTotal) / float64(s.solves) / float64(time.Millisecond)

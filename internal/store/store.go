@@ -1,0 +1,304 @@
+// Package store is the durable, crash-safe snapshot store behind the
+// obfuscation service's mechanism cache. Two snapshot kinds live in one
+// directory, both keyed by the solve spec's content digest:
+//
+//	<digest>.mech — a completed (possibly degraded) cache entry
+//	<digest>.ckpt — a mid-solve checkpoint of the CG column pool
+//
+// Durability protocol: every write goes to a temp file in the same
+// directory, is fsynced, atomically renamed over the final name, and the
+// directory itself is fsynced — so a committed snapshot survives kill -9
+// at any instant, and a crash mid-write leaves only ignorable temp
+// debris, never a half-written committed file. Snapshots are versioned
+// and SHA-256-checksummed by internal/serial; a file that fails
+// checksum, version or semantic validation (including a digest that does
+// not match its file name) is quarantined into a subdirectory — kept for
+// forensics, removed from the serving path — and reported, never served
+// and never fatal. The worst outcome of any corruption is a cold
+// re-solve.
+//
+// Fault injection: the five I/O sites (write, short write, fsync,
+// rename, read) carry faultinject points so the chaos suite can kill
+// the protocol at every step and assert the recovery invariants.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/faultinject"
+	"repro/internal/serial"
+)
+
+// Fault-injection sites visited by the store's I/O protocol.
+const (
+	FaultSiteWrite      = "store/write"
+	FaultSiteShortWrite = "store/shortwrite"
+	FaultSiteFsync      = "store/fsync"
+	FaultSiteRename     = "store/rename"
+	FaultSiteRead       = "store/read"
+)
+
+const (
+	entryExt      = ".mech"
+	checkpointExt = ".ckpt"
+	tmpPrefix     = "tmp-"
+	quarantineDir = "quarantine"
+)
+
+// ErrNotFound reports that no committed snapshot exists for a digest.
+var ErrNotFound = errors.New("store: snapshot not found")
+
+// ErrCorrupt wraps every validation failure of a committed snapshot;
+// the offending file has already been quarantined when a load returns
+// it. errors.Is(err, ErrCorrupt) distinguishes "re-solve and move on"
+// from real I/O trouble.
+var ErrCorrupt = errors.New("store: corrupt snapshot")
+
+// Store is a snapshot directory. All methods are safe for concurrent
+// use by multiple goroutines of one process; the atomic-rename protocol
+// additionally keeps concurrent writers of the same digest from ever
+// exposing a torn file (last rename wins whole).
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and returns the store at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// WriteEntry durably persists a completed entry snapshot under its
+// spec's digest.
+func (s *Store) WriteEntry(e *serial.StoredEntry) error {
+	data, err := serial.EncodeStoredEntry(e)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return s.commit(e.Spec.Digest()+entryExt, data)
+}
+
+// WriteCheckpoint durably persists a mid-solve checkpoint under its
+// spec's digest, replacing any previous checkpoint for that digest.
+func (s *Store) WriteCheckpoint(c *serial.StoredCheckpoint) error {
+	data, err := serial.EncodeStoredCheckpoint(c)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return s.commit(c.Spec.Digest()+checkpointExt, data)
+}
+
+// LoadEntry reads and validates the committed entry snapshot for
+// digest. A snapshot that fails checksum/validation — or whose embedded
+// spec does not hash to the digest naming the file — is quarantined and
+// reported as ErrCorrupt; a missing file is ErrNotFound.
+func (s *Store) LoadEntry(digest string) (*serial.StoredEntry, error) {
+	name := digest + entryExt
+	data, err := s.read(name)
+	if err != nil {
+		return nil, err
+	}
+	e, err := serial.DecodeStoredEntry(data)
+	if err == nil && e.Spec.Digest() != digest {
+		err = fmt.Errorf("embedded spec digest %s does not match file name", e.Spec.Digest())
+	}
+	if err != nil {
+		s.quarantine(name)
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, name, err)
+	}
+	return e, nil
+}
+
+// LoadCheckpoint reads and validates the committed checkpoint for
+// digest; same ErrNotFound/ErrCorrupt contract as LoadEntry.
+func (s *Store) LoadCheckpoint(digest string) (*serial.StoredCheckpoint, error) {
+	name := digest + checkpointExt
+	data, err := s.read(name)
+	if err != nil {
+		return nil, err
+	}
+	c, err := serial.DecodeStoredCheckpoint(data)
+	if err == nil && c.Spec.Digest() != digest {
+		err = fmt.Errorf("embedded spec digest %s does not match file name", c.Spec.Digest())
+	}
+	if err != nil {
+		s.quarantine(name)
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, name, err)
+	}
+	return c, nil
+}
+
+// DeleteCheckpoint removes the checkpoint for digest (a completed
+// optimal solve supersedes it). Deleting a missing checkpoint is a
+// no-op.
+func (s *Store) DeleteCheckpoint(digest string) {
+	_ = os.Remove(filepath.Join(s.dir, digest+checkpointExt))
+}
+
+// ScanEntry describes one valid committed entry snapshot found by Scan.
+type ScanEntry struct {
+	Digest string
+	Tier   string
+}
+
+// ScanReport is the outcome of a startup scan.
+type ScanReport struct {
+	// Entries lists the valid entry snapshots (digest + tier), lazily
+	// loadable via LoadEntry.
+	Entries []ScanEntry
+	// Checkpoints holds the decoded, validated mid-solve checkpoints —
+	// the interrupted solves a restarting server re-enqueues.
+	Checkpoints []*serial.StoredCheckpoint
+	// Quarantined counts files moved aside for failing checksum,
+	// version or semantic validation.
+	Quarantined int
+}
+
+// Scan walks the store directory, validating every committed snapshot:
+// valid entries and checkpoints are reported, corrupt files are
+// quarantined, and temp debris from crashed writes is deleted. Scan
+// never fails on the content of any individual file — a torn write or
+// hostile bytes cost that one file, nothing else.
+func (s *Store) Scan() (*ScanReport, error) {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scan: %w", err)
+	}
+	rep := &ScanReport{}
+	for _, de := range names {
+		name := de.Name()
+		if de.IsDir() {
+			continue // quarantine/ and anything else foreign
+		}
+		if strings.HasPrefix(name, tmpPrefix) {
+			// Debris of a write that never committed: the rename never
+			// happened, so nothing references it. Remove quietly.
+			_ = os.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		switch {
+		case strings.HasSuffix(name, entryExt):
+			digest := strings.TrimSuffix(name, entryExt)
+			e, err := s.LoadEntry(digest)
+			if err != nil {
+				// LoadEntry quarantined a corrupt file already; count it.
+				if errors.Is(err, ErrCorrupt) {
+					rep.Quarantined++
+				}
+				continue
+			}
+			rep.Entries = append(rep.Entries, ScanEntry{Digest: digest, Tier: e.Tier})
+		case strings.HasSuffix(name, checkpointExt):
+			digest := strings.TrimSuffix(name, checkpointExt)
+			c, err := s.LoadCheckpoint(digest)
+			if err != nil {
+				if errors.Is(err, ErrCorrupt) {
+					rep.Quarantined++
+				}
+				continue
+			}
+			rep.Checkpoints = append(rep.Checkpoints, c)
+		default:
+			// Unknown file kind in the store directory: treat exactly
+			// like a corrupt snapshot — move it out of the way.
+			s.quarantine(name)
+			rep.Quarantined++
+		}
+	}
+	return rep, nil
+}
+
+// commit runs the atomic durability protocol: temp write → fsync →
+// rename → directory fsync. On any failure the temp file is removed and
+// the previously committed snapshot (if any) is untouched.
+func (s *Store) commit(name string, data []byte) (err error) {
+	f, err := os.CreateTemp(s.dir, tmpPrefix+name+"-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := f.Name()
+	torn := false
+	defer func() {
+		if err != nil && !torn {
+			f.Close()
+			_ = os.Remove(tmp)
+		}
+	}()
+	if ferr := faultinject.At(FaultSiteWrite); ferr != nil {
+		return fmt.Errorf("store: write %s: %w", name, ferr)
+	}
+	if ferr := faultinject.At(FaultSiteShortWrite); ferr != nil {
+		// Simulated torn write: half the bytes land, then the protocol
+		// aborts as if the process died. The temp file is deliberately
+		// left behind (a real crash leaves it too); recovery must shrug
+		// it off.
+		_, _ = f.Write(data[:len(data)/2])
+		f.Close()
+		torn = true
+		return fmt.Errorf("store: write %s: %w", name, ferr)
+	}
+	if _, werr := f.Write(data); werr != nil {
+		return fmt.Errorf("store: %w", werr)
+	}
+	if ferr := faultinject.At(FaultSiteFsync); ferr != nil {
+		return fmt.Errorf("store: fsync %s: %w", name, ferr)
+	}
+	if serr := f.Sync(); serr != nil {
+		return fmt.Errorf("store: %w", serr)
+	}
+	if cerr := f.Close(); cerr != nil {
+		return fmt.Errorf("store: %w", cerr)
+	}
+	if ferr := faultinject.At(FaultSiteRename); ferr != nil {
+		return fmt.Errorf("store: rename %s: %w", name, ferr)
+	}
+	if rerr := os.Rename(tmp, filepath.Join(s.dir, name)); rerr != nil {
+		return fmt.Errorf("store: %w", rerr)
+	}
+	// fsync the directory so the rename itself survives power loss.
+	if d, derr := os.Open(s.dir); derr == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// read fetches a committed snapshot's bytes.
+func (s *Store) read(name string) ([]byte, error) {
+	if ferr := faultinject.At(FaultSiteRead); ferr != nil {
+		return nil, fmt.Errorf("store: read %s: %w", name, ferr)
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, name))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return data, nil
+}
+
+// quarantine moves a rejected file into the quarantine subdirectory
+// (creating it on first use), falling back to deletion if the move
+// fails. It never reports an error: quarantine runs on recovery paths
+// that must not themselves fail.
+func (s *Store) quarantine(name string) {
+	qdir := filepath.Join(s.dir, quarantineDir)
+	_ = os.MkdirAll(qdir, 0o755)
+	src := filepath.Join(s.dir, name)
+	if err := os.Rename(src, filepath.Join(qdir, name)); err != nil {
+		_ = os.Remove(src)
+	}
+}
