@@ -1,0 +1,62 @@
+// Package analysis is a deliberately small re-implementation of the
+// golang.org/x/tools/go/analysis core: an Analyzer is a named check, a
+// Pass hands it one type-checked package, and diagnostics flow back
+// through Pass.Report. The shape mirrors the upstream framework so the
+// analyzers in internal/lint/analyzers could be ported to the real
+// multichecker verbatim if the dependency ever becomes available; until
+// then cmd/vlplint drives them through internal/lint/loader.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass presents one type-checked package to an analyzer.
+type Pass struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:ignore
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run inspects one package.
+	Run func(*Pass) error
+	// Finish, when non-nil, runs once after every pass, for invariants
+	// that span packages (faultpoint's site-name uniqueness). State
+	// accumulated by Run lives in the analyzer's package; Reset clears
+	// it so test harnesses and repeated driver runs start clean.
+	Finish func(report func(Diagnostic))
+	// Reset clears any cross-pass state before a run. May be nil.
+	Reset func()
+}
+
+// Inspect walks every file of the pass in depth-first order, calling f
+// on each node; f returning false prunes the subtree. A nil-safe
+// convenience over ast.Inspect.
+func (p *Pass) Inspect(f func(ast.Node) bool) {
+	for _, file := range p.Files {
+		ast.Inspect(file, f)
+	}
+}

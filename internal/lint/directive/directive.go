@@ -1,0 +1,78 @@
+// Package directive implements vlplint's false-positive escape hatch:
+//
+//	//lint:ignore analyzer1[,analyzer2...] reason
+//
+// placed on the offending line or on the line directly above it
+// suppresses matching diagnostics. The reason is mandatory — an ignore
+// without a justification is itself reported by the driver — so every
+// suppression in the tree documents why the invariant does not apply.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Ignore is one parsed //lint:ignore directive.
+type Ignore struct {
+	// Analyzers lists the analyzer names the directive suppresses.
+	Analyzers []string
+	// Reason is the free-text justification (must be non-empty).
+	Reason string
+	// File and Line locate the directive.
+	File string
+	Line int
+	Pos  token.Pos
+}
+
+// Covers reports whether the directive suppresses a diagnostic from the
+// named analyzer at the given file and line: same line as the
+// directive, or the line immediately below it.
+func (ig *Ignore) Covers(analyzer, file string, line int) bool {
+	if file != ig.File || (line != ig.Line && line != ig.Line+1) {
+		return false
+	}
+	for _, a := range ig.Analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+const prefix = "//lint:ignore"
+
+// Parse extracts every //lint:ignore directive from the files.
+// Malformed directives (no analyzer list or no reason) are returned
+// separately so the driver can flag them instead of silently honouring
+// or dropping them.
+func Parse(fset *token.FileSet, files []*ast.File) (ok []Ignore, malformed []Ignore) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, found := strings.CutPrefix(c.Text, prefix)
+				if !found {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ig := Ignore{File: pos.Filename, Line: pos.Line, Pos: c.Pos()}
+				fields := strings.Fields(text)
+				if len(fields) >= 2 {
+					for _, name := range strings.Split(fields[0], ",") {
+						if name = strings.TrimSpace(name); name != "" {
+							ig.Analyzers = append(ig.Analyzers, name)
+						}
+					}
+					ig.Reason = strings.Join(fields[1:], " ")
+				}
+				if len(ig.Analyzers) == 0 || ig.Reason == "" {
+					malformed = append(malformed, ig)
+					continue
+				}
+				ok = append(ok, ig)
+			}
+		}
+	}
+	return ok, malformed
+}

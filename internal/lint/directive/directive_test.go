@@ -1,0 +1,59 @@
+package directive
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const src = `package p
+
+func f() {
+	//lint:ignore floateq,shadow exact sentinel comparison
+	x := 1
+	_ = x
+}
+
+//lint:ignore ctxflow
+func g() {}
+`
+
+func TestParseAndCovers(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, malformed := Parse(fset, []*ast.File{f})
+	if len(ok) != 1 {
+		t.Fatalf("ok directives = %d, want 1", len(ok))
+	}
+	if len(malformed) != 1 {
+		t.Fatalf("malformed directives = %d, want 1 (missing reason)", len(malformed))
+	}
+
+	ig := ok[0]
+	if got := len(ig.Analyzers); got != 2 {
+		t.Fatalf("analyzers = %d, want 2", got)
+	}
+	if ig.Reason != "exact sentinel comparison" {
+		t.Errorf("reason = %q", ig.Reason)
+	}
+	// The directive sits on line 4; it covers that line and the next.
+	if !ig.Covers("floateq", "p.go", 4) || !ig.Covers("floateq", "p.go", 5) {
+		t.Error("directive should cover its own line and the line below")
+	}
+	if !ig.Covers("shadow", "p.go", 5) {
+		t.Error("directive should cover every listed analyzer")
+	}
+	if ig.Covers("nilness", "p.go", 5) {
+		t.Error("directive must not cover unlisted analyzers")
+	}
+	if ig.Covers("floateq", "p.go", 6) {
+		t.Error("directive must not reach two lines down")
+	}
+	if ig.Covers("floateq", "q.go", 5) {
+		t.Error("directive must not cover other files")
+	}
+}

@@ -1,0 +1,269 @@
+// Package loader loads and type-checks Go packages from source without
+// any dependency outside the standard library. It exists because the
+// vlplint analyzers (internal/lint/analyzers) need fully type-checked
+// ASTs, and this module deliberately has no external dependencies —
+// golang.org/x/tools is not available — so the usual go/packages path
+// is closed.
+//
+// The loader resolves imports in two ways: paths inside this module
+// ("repro/...") are located relative to the module root and recursively
+// loaded from source; everything else is delegated to the standard
+// library's source importer (go/importer with the "source" compiler),
+// which type-checks GOROOT packages from source and therefore works
+// offline. Cgo is disabled in the build context so packages like net
+// select their pure-Go fallbacks, which the source importer can handle.
+//
+// Only non-test files are loaded: the invariants vlplint enforces are
+// contracts of production code, and test files legitimately violate
+// several of them (context.Background in helpers, wall-clock timing in
+// benchmarks).
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the package's import path ("repro/internal/lp"), or a
+	// synthetic dir-based path for packages outside the module (the
+	// analysistest testdata trees).
+	Path string
+	// Dir is the directory the files were read from.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads packages rooted at a Go module. It caches every package
+// it type-checks, so loading "./..." shares one type-checked copy of
+// each dependency.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+
+	fset  *token.FileSet
+	ctxt  build.Context
+	src   types.Importer
+	cache map[string]*Package // by import path
+}
+
+// New returns a Loader for the module containing dir (dir or any parent
+// must hold a go.mod).
+func New(dir string) (*Loader, error) {
+	root, modpath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		ModuleRoot: root,
+		ModulePath: modpath,
+		fset:       token.NewFileSet(),
+		ctxt:       build.Default,
+		cache:      make(map[string]*Package),
+	}
+	// The source importer type-checks GOROOT packages from source; with
+	// cgo disabled every stdlib package has a pure-Go file set it can
+	// handle, keeping the loader hermetic.
+	l.ctxt.CgoEnabled = false
+	l.src = importer.ForCompiler(l.fset, "source", nil)
+	return l, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// findModule walks up from dir to the enclosing go.mod.
+func findModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("loader: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("loader: no go.mod at or above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// Import implements types.Importer: module-internal paths load from
+// source under the module root, everything else goes to the stdlib
+// source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		pkg, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.src.Import(path)
+}
+
+// loadPath loads the module-internal package with the given import path.
+func (l *Loader) loadPath(path string) (*Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+	return l.loadDir(filepath.Join(l.ModuleRoot, rel), path)
+}
+
+// LoadDir loads the single package in dir. For directories under the
+// module root the canonical import path is derived from the module
+// path; other directories (testdata trees) get their directory as a
+// synthetic path.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path := abs
+	if rel, err := filepath.Rel(l.ModuleRoot, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		if rel == "." {
+			path = l.ModulePath
+		} else {
+			path = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	return l.loadDir(abs, path)
+}
+
+// Load expands one pattern: "./..." (every package under the module
+// root), a relative directory, or an import path inside the module.
+func (l *Loader) Load(pattern string) ([]*Package, error) {
+	switch {
+	case pattern == "./..." || pattern == "...":
+		return l.loadTree(l.ModuleRoot)
+	case strings.HasSuffix(pattern, "/..."):
+		base := strings.TrimSuffix(pattern, "/...")
+		return l.loadTree(filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(base, "./"))))
+	default:
+		pkg, err := l.LoadDir(filepath.FromSlash(strings.TrimPrefix(pattern, "./")))
+		if err != nil {
+			return nil, err
+		}
+		return []*Package{pkg}, nil
+	}
+}
+
+// loadTree loads every Go package in or below root, skipping testdata
+// and hidden directories.
+func (l *Loader) loadTree(root string) ([]*Package, error) {
+	var pkgs []*Package
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if !hasGoFiles(p) {
+			return nil
+		}
+		pkg, err := l.LoadDir(p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		pkgs = append(pkgs, pkg)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDir parses and type-checks the package in dir under import path
+// path, caching the result.
+func (l *Loader) loadDir(dir, path string) (*Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("loader: %w", err)
+	}
+	var files []*ast.File
+	var name string
+	for _, e := range ents {
+		fn := e.Name()
+		if e.IsDir() || !strings.HasSuffix(fn, ".go") || strings.HasSuffix(fn, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, fn), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			name = f.Name.Name
+		}
+		if f.Name.Name != name {
+			// Ignore stray alternate packages (e.g. a main shim next to a
+			// library); analyzers run per primary package.
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("loader: no buildable Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: typecheck %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.cache[path] = pkg
+	return pkg, nil
+}

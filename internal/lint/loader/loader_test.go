@@ -1,0 +1,66 @@
+package loader
+
+import (
+	"testing"
+)
+
+// TestLoadServerPackage exercises the hard case: repro/internal/server
+// imports net/http, so the stdlib source importer must type-check a
+// large slice of GOROOT from source, offline, with cgo disabled.
+func TestLoadServerPackage(t *testing.T) {
+	l, err := New(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(l.ModuleRoot + "/internal/server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Path != "repro/internal/server" {
+		t.Fatalf("path = %q", pkg.Path)
+	}
+	if pkg.Types.Name() != "server" {
+		t.Fatalf("package name = %q", pkg.Types.Name())
+	}
+	if len(pkg.Files) == 0 || len(pkg.Info.Defs) == 0 {
+		t.Fatal("no files or type info loaded")
+	}
+	// The cache must dedupe: loading a dependent package reuses it.
+	again, err := l.LoadDir(l.ModuleRoot + "/internal/server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != pkg {
+		t.Fatal("cache miss on second load")
+	}
+}
+
+// TestLoadTree loads every package in the module, proving the walker
+// skips testdata and resolves cross-package imports.
+func TestLoadTree(t *testing.T) {
+	l, err := New(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"repro":                 false,
+		"repro/internal/lp":     false,
+		"repro/internal/core":   false,
+		"repro/cmd/vlpserved":   false,
+		"repro/internal/serial": false,
+	}
+	for _, p := range pkgs {
+		if _, ok := want[p.Path]; ok {
+			want[p.Path] = true
+		}
+	}
+	for path, seen := range want {
+		if !seen {
+			t.Errorf("package %s not loaded", path)
+		}
+	}
+}
