@@ -1,0 +1,152 @@
+// Command vlplint is the multichecker driver for the repo's custom
+// static-analysis suite (internal/lint): it mechanically enforces the
+// solver stack's safety contracts — the Geo-I repair gate, lock-free
+// stats counters, context plumbing, tolerance-based float comparison,
+// chaos-suite fault coverage, and kernel determinism — plus nilness and
+// shadow checks that go vet does not run by default.
+//
+// Usage:
+//
+//	go run ./cmd/vlplint ./...      # analyze the whole module (ci.sh gate)
+//	go run ./cmd/vlplint -list      # print the invariant catalogue
+//
+// vlplint exits non-zero if any finding survives; a false positive is
+// silenced in the source with
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// on (or directly above) the offending line. The reason is mandatory
+// and a directive that suppresses nothing is itself an error, so stale
+// ignores cannot accumulate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+	"repro/internal/lint/loader"
+	"repro/internal/lint/registry"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and their scopes, then exit")
+	flag.Parse()
+
+	suite := registry.All()
+	if *list {
+		for _, s := range suite {
+			fmt.Printf("%-12s scope %-50s %s\n", s.Analyzer.Name, s.Scope, s.Why)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := run(suite, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vlplint:", err)
+		os.Exit(2)
+	}
+	sort.Strings(findings)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "vlplint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// finding is one post-suppression diagnostic with its analyzer tag.
+type finding struct {
+	analyzer string
+	d        analysis.Diagnostic
+}
+
+func run(suite []registry.Scoped, patterns []string) ([]string, error) {
+	l, err := loader.New(".")
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range suite {
+		if s.Analyzer.Reset != nil {
+			s.Analyzer.Reset()
+		}
+	}
+
+	var pkgs []*loader.Package
+	for _, pat := range patterns {
+		ps, err := l.Load(pat)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, ps...)
+	}
+
+	var all []finding
+	var ignores []directive.Ignore
+	var out []string
+	for _, pkg := range pkgs {
+		ok, malformed := directive.Parse(pkg.Fset, pkg.Files)
+		ignores = append(ignores, ok...)
+		for _, m := range malformed {
+			pos := pkg.Fset.Position(m.Pos)
+			out = append(out, fmt.Sprintf("%s: malformed //lint:ignore directive: need `//lint:ignore analyzer[,analyzer] reason`", pos))
+		}
+		for _, s := range suite {
+			if !s.Scope.MatchString(pkg.Path) {
+				continue
+			}
+			a := s.Analyzer
+			pass := &analysis.Pass{
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report: func(d analysis.Diagnostic) {
+					all = append(all, finding{a.Name, d})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	// Cross-package finishers (faultpoint's uniqueness check).
+	for _, s := range suite {
+		if s.Analyzer.Finish != nil {
+			a := s.Analyzer
+			a.Finish(func(d analysis.Diagnostic) {
+				all = append(all, finding{a.Name, d})
+			})
+		}
+	}
+
+	// Apply suppression directives; track which ones earned their keep.
+	used := make([]bool, len(ignores))
+	for _, f := range all {
+		pos := l.Fset().Position(f.d.Pos)
+		suppressed := false
+		for i := range ignores {
+			if ignores[i].Covers(f.analyzer, pos.Filename, pos.Line) {
+				used[i] = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, fmt.Sprintf("%s: %s (%s)", pos, f.d.Message, f.analyzer))
+		}
+	}
+	for i, ig := range ignores {
+		if !used[i] {
+			out = append(out, fmt.Sprintf("%s:%d: //lint:ignore directive suppresses nothing; delete it", ig.File, ig.Line))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,160 @@
+// Package atomicstats enforces the serving path's counter discipline:
+// the hot obfuscate/solve handlers bump stats on every request, so the
+// stats struct is lock-free by contract — every field is a sync/atomic
+// type and every access goes through its methods. Two rules:
+//
+//  1. A struct type named "stats", or any struct whose declaration
+//     carries a "vlplint:atomicstats" marker comment, must declare
+//     every field with a sync/atomic type (atomic.Uint64,
+//     atomic.Int64, ...). A plain uint64 field — even one "protected"
+//     by a mutex — reintroduces either a data race or a lock on the
+//     hot path.
+//
+//  2. Anywhere in the package, a selector of sync/atomic-typed struct
+//     field may only be used as the receiver of a method call
+//     (s.hits.Add(1)) or have its address taken to pass the counter
+//     along; copying the value (x := s.hits) smuggles a non-atomic
+//     read out (and copies the internal state, which vet's copylocks
+//     also hates).
+package atomicstats
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicstats",
+	Doc:  "stats structs must use sync/atomic fields, accessed only through atomic methods",
+	Run:  run,
+}
+
+const marker = "vlplint:atomicstats"
+
+func run(pass *analysis.Pass) error {
+	checkStructDecls(pass)
+	checkFieldUses(pass)
+	return nil
+}
+
+// checkStructDecls applies rule 1 to every marked (or "stats"-named)
+// struct declaration.
+func checkStructDecls(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				if ts.Name.Name != "stats" && !hasMarker(gd, ts) {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					t := pass.TypesInfo.Types[field.Type].Type
+					if isAtomicType(t) {
+						continue
+					}
+					for _, name := range field.Names {
+						pass.Reportf(name.Pos(), "field %s of atomic stats struct %s must use a sync/atomic type, not %s", name.Name, ts.Name.Name, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+					}
+					if len(field.Names) == 0 { // embedded
+						pass.Reportf(field.Pos(), "embedded field of atomic stats struct %s must use a sync/atomic type, not %s", ts.Name.Name, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+					}
+				}
+			}
+		}
+	}
+}
+
+// hasMarker reports whether the type declaration's doc comments contain
+// the vlplint:atomicstats marker.
+func hasMarker(gd *ast.GenDecl, ts *ast.TypeSpec) bool {
+	for _, cg := range []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment} {
+		if cg != nil && strings.Contains(cg.Text(), marker) {
+			return true
+		}
+	}
+	// Marker directives (//vlplint:...) are dropped from CommentGroup.Text;
+	// scan raw comment lines too.
+	for _, cg := range []*ast.CommentGroup{gd.Doc, ts.Doc, ts.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, marker) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkFieldUses applies rule 2: every selector whose type is a
+// sync/atomic struct type must be a method-call receiver or an
+// address-of operand.
+func checkFieldUses(pass *analysis.Pass) {
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// Only field selections of atomic type matter.
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal || !isAtomicType(selection.Type()) {
+			return true
+		}
+		if allowedAtomicUse(stack, sel) {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(), "field %s has atomic type %s and may only be accessed through its methods (Load/Store/Add/...)", sel.Sel.Name, selection.Type())
+		return true
+	})
+}
+
+// allowedAtomicUse reports whether the atomic-typed selector is the
+// receiver of a method call (parent SelectorExpr under a CallExpr) or
+// under a unary & (passing *atomic.T onward keeps access atomic).
+func allowedAtomicUse(stack []ast.Node, sel *ast.SelectorExpr) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.SelectorExpr:
+		// s.hits.Add(1): parent is the method selector; require it to be
+		// called.
+		if parent.X == sel && len(stack) >= 2 {
+			if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == parent {
+				return true
+			}
+		}
+	case *ast.UnaryExpr:
+		if parent.Op == token.AND && parent.X == sel {
+			return true
+		}
+	}
+	return false
+}
+
+// isAtomicType reports whether t is a named struct type from
+// sync/atomic (Uint64, Int64, Bool, Value, Pointer[T], ...).
+func isAtomicType(t types.Type) bool {
+	n := analysis.NamedType(t)
+	if n == nil {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}

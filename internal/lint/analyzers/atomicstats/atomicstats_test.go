@@ -1,0 +1,12 @@
+package atomicstats_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/analyzers/atomicstats"
+)
+
+func TestAtomicstats(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicstats.Analyzer, "atomicstats", "atomicstats_clean")
+}

@@ -1,0 +1,25 @@
+package atomicstats
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type stats struct {
+	mu   sync.Mutex // want `field mu of atomic stats struct stats must use a sync/atomic type`
+	hits uint64     // want `field hits of atomic stats struct stats must use a sync/atomic type`
+	ok   atomic.Uint64
+}
+
+// counters opts into the same contract via the marker.
+//
+//vlplint:atomicstats
+type counters struct {
+	n int // want `field n of atomic stats struct counters must use a sync/atomic type`
+}
+
+func read(s *stats) uint64 {
+	v := s.ok // want `field ok has atomic type .* may only be accessed through its methods`
+	_ = v
+	return s.ok.Load()
+}

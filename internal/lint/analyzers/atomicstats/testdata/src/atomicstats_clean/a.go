@@ -1,0 +1,26 @@
+package atomicstats_clean
+
+import "sync/atomic"
+
+type stats struct {
+	hits  atomic.Uint64
+	total atomic.Int64
+	ready atomic.Bool
+}
+
+func bump(s *stats) {
+	s.hits.Add(1)
+	s.total.Store(0)
+	s.ready.Store(true)
+}
+
+func counter(s *stats) *atomic.Uint64 {
+	return &s.hits // passing the counter by pointer keeps access atomic
+}
+
+// plain is not a stats struct, so ordinary fields stay legal.
+type plain struct {
+	n int
+}
+
+func (p *plain) inc() { p.n++ }

@@ -1,0 +1,23 @@
+package ctxflow
+
+import "context"
+
+func helper() context.Context {
+	return context.Background() // want `context.Background\(\) outside main`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context.TODO\(\) outside main`
+}
+
+func inClosure() func() context.Context {
+	return func() context.Context {
+		return context.Background() // want `context.Background\(\) outside main`
+	}
+}
+
+// SolveBlind has no route to a context: not a parameter, not an options
+// struct, not a receiver.
+func SolveBlind(n int) int { // want `exported solve entry point SolveBlind cannot be cancelled`
+	return n
+}

@@ -1,0 +1,37 @@
+package ctxflow_clean
+
+import "context"
+
+// Options carries the context for solvers configured via a struct.
+type Options struct {
+	Ctx context.Context
+}
+
+type solver struct {
+	opts Options
+}
+
+func SolveDirect(ctx context.Context, n int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func SolveViaOptions(opts Options) error {
+	return opts.Ctx.Err()
+}
+
+func (s *solver) SolveFromReceiver() error {
+	return s.opts.Ctx.Err()
+}
+
+// solveInternal is unexported: rule 2 applies to exported entry points.
+func solveInternal(n int) int {
+	return n
+}
+
+func main() {
+	ctx := context.Background() // roots belong to the process entry point
+	_, _ = SolveDirect(ctx, 1)
+}

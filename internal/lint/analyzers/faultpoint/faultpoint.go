@@ -1,0 +1,204 @@
+// Package faultpoint keeps the chaos suite honest. The durability
+// protocol's crash-safety claims rest on the fault-injection points in
+// internal/faultinject being (a) individually addressable and (b)
+// actually present at every site that touches the disk. Three rules:
+//
+//  1. The site argument of faultinject.At must be a compile-time string
+//     constant — a runtime-computed name cannot be armed by tests and
+//     silently escapes the chaos matrix.
+//
+//  2. Site names are unique: two distinct constant declarations (or two
+//     bare literals) must not share the same string. Duplicate names
+//     alias unrelated sites, so arming one fires the other.
+//     This check runs across every analyzed package (the registry spans
+//     lp, core and store).
+//
+//  3. In the durable-I/O packages, every call that commits bytes or
+//     metadata to disk — (*os.File).Write/WriteString/WriteAt/Sync and
+//     os.Rename — must be preceded, in the same function, by a
+//     faultinject.At visit, so the chaos suite can kill the protocol
+//     immediately before the real operation.
+package faultpoint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:   "faultpoint",
+	Doc:    "faultinject site names are unique string constants; durable I/O sits under a point",
+	Run:    run,
+	Finish: finish,
+	Reset:  reset,
+}
+
+// siteDecl identifies one declaration of a site name: a named constant
+// (keyed by its object) or a bare literal occurrence (keyed by
+// position).
+type siteDecl struct {
+	key  string // unique identity of the declaring const/literal
+	pos  token.Pos
+	name string // the site string
+}
+
+var declsByName map[string][]siteDecl
+
+func reset() { declsByName = nil }
+
+// fileWriteMethods are the (*os.File) methods that move bytes or
+// metadata toward the disk.
+var fileWriteMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteAt": true, "Sync": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if declsByName == nil {
+		declsByName = make(map[string][]siteDecl)
+	}
+	// atPoints[fn] lists positions of faultinject.At calls per function.
+	type ioCall struct {
+		pos  token.Pos
+		desc string
+	}
+	atPoints := map[ast.Node][]token.Pos{}
+	ioCalls := map[ast.Node][]ioCall{}
+
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		encl := analysis.EnclosingFunc(stack)
+		switch {
+		case isFaultinjectAt(fn):
+			recordSite(pass, call)
+			if encl != nil {
+				atPoints[encl] = append(atPoints[encl], call.Pos())
+			}
+		case analysis.IsPkgFunc(fn, "os", "Rename"):
+			if encl != nil {
+				ioCalls[encl] = append(ioCalls[encl], ioCall{call.Pos(), "os.Rename"})
+			}
+		case fileWriteMethods[fn.Name()] && isOSFileMethod(fn):
+			if encl != nil {
+				ioCalls[encl] = append(ioCalls[encl], ioCall{call.Pos(), "(*os.File)." + fn.Name()})
+			}
+		}
+		return true
+	})
+
+	for encl, calls := range ioCalls {
+		points := atPoints[encl]
+		for _, io := range calls {
+			covered := false
+			for _, p := range points {
+				if p < io.pos {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				pass.Reportf(io.pos, "durable I/O call %s has no preceding faultinject.At point in this function; the chaos suite cannot kill the protocol here", io.desc)
+			}
+		}
+	}
+	return nil
+}
+
+// recordSite validates one At call's site argument and records its
+// declaration for the cross-package uniqueness check.
+func recordSite(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := call.Args[0]
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(), "faultinject.At site name must be a compile-time string constant so tests can arm it")
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	d := siteDecl{pos: arg.Pos(), name: name}
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		var id *ast.Ident
+		if sel, ok := a.(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		} else {
+			id = a.(*ast.Ident)
+		}
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			d.key = obj.Pkg().Path() + "." + obj.Name()
+			d.pos = obj.Pos()
+		}
+	}
+	if d.key == "" {
+		// A bare literal: every occurrence is its own declaration, so two
+		// identical literals at different sites collide (use a const).
+		d.key = pass.Fset.Position(arg.Pos()).String()
+	}
+	declsByName[name] = append(declsByName[name], d)
+}
+
+// finish reports site names declared more than once across all passes.
+func finish(report func(analysis.Diagnostic)) {
+	names := make([]string, 0, len(declsByName))
+	for name := range declsByName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		decls := declsByName[name]
+		distinct := map[string]siteDecl{}
+		for _, d := range decls {
+			if _, ok := distinct[d.key]; !ok {
+				distinct[d.key] = d
+			}
+		}
+		if len(distinct) < 2 {
+			continue
+		}
+		keys := make([]string, 0, len(distinct))
+		for k := range distinct {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		// Report every declaration after the first.
+		for _, k := range keys[1:] {
+			report(analysis.Diagnostic{
+				Pos:     distinct[k].pos,
+				Message: "faultinject site name " + strconv.Quote(name) + " is declared more than once; site names must be unique so arming one cannot fire another",
+			})
+		}
+	}
+}
+
+func isFaultinjectAt(fn *types.Func) bool {
+	if fn.Name() != "At" || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == "repro/internal/faultinject" || strings.HasSuffix(path, "/faultinject")
+}
+
+// isOSFileMethod reports whether fn is a method with *os.File (or
+// os.File) receiver.
+func isOSFileMethod(fn *types.Func) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	return analysis.IsNamed(sig.Recv().Type(), "os", "File")
+}

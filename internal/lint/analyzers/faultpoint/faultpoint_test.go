@@ -1,0 +1,12 @@
+package faultpoint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/analyzers/faultpoint"
+)
+
+func TestFaultpoint(t *testing.T) {
+	analysistest.Run(t, "testdata", faultpoint.Analyzer, "faultpoint", "faultpoint_clean")
+}

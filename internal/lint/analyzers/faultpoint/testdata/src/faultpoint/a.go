@@ -1,0 +1,37 @@
+package faultpoint
+
+import (
+	"os"
+
+	"repro/internal/faultinject"
+)
+
+const (
+	siteFirst  = "fp/dup"
+	siteSecond = "fp/dup" // want `faultinject site name "fp/dup" is declared more than once`
+	siteLate   = "fp/late"
+)
+
+func visitBoth() {
+	_ = faultinject.At(siteFirst)
+	_ = faultinject.At(siteSecond)
+}
+
+func dynamicSite(name string) {
+	_ = faultinject.At(name) // want `faultinject.At site name must be a compile-time string constant`
+}
+
+func writeNoPoint(f *os.File, b []byte) error {
+	_, err := f.Write(b) // want `durable I/O call \(\*os.File\)\.Write has no preceding faultinject.At point`
+	return err
+}
+
+func renameNoPoint(from, to string) error {
+	return os.Rename(from, to) // want `durable I/O call os.Rename has no preceding faultinject.At point`
+}
+
+func pointAfter(f *os.File) error {
+	err := f.Sync() // want `durable I/O call \(\*os.File\)\.Sync has no preceding faultinject.At point`
+	_ = faultinject.At(siteLate)
+	return err
+}

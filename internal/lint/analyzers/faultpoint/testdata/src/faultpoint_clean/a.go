@@ -1,0 +1,35 @@
+package faultpoint_clean
+
+import (
+	"os"
+
+	"repro/internal/faultinject"
+)
+
+// Unique site names, one per durable I/O step.
+const (
+	siteWrite  = "fpclean/write"
+	siteSync   = "fpclean/fsync"
+	siteRename = "fpclean/rename"
+)
+
+// commit follows the write → fsync → rename protocol with a kill point
+// armed before every step.
+func commit(f *os.File, b []byte, from, to string) error {
+	if err := faultinject.At(siteWrite); err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	if err := faultinject.At(siteSync); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := faultinject.At(siteRename); err != nil {
+		return err
+	}
+	return os.Rename(from, to)
+}

@@ -1,0 +1,98 @@
+// Package floateq forbids == and != between floating-point expressions
+// in the numeric solver packages. PAPER.md §4's Geo-I constraints are
+// satisfied only to tolerance — exactly-equal floats are either an
+// accident of one code path or a latent bug (the class EnforceGeoI was
+// built to repair), so equality tests must be written against an
+// explicit tolerance.
+//
+// Allowed patterns:
+//   - comparison against a compile-time constant exactly zero
+//     (`x == 0` sentinels: unset fields, exact sparsity checks);
+//   - comparison against ±Inf produced by math.Inf (infinity is exact);
+//   - self-comparison `x != x` (the NaN idiom, though math.IsNaN is
+//     preferred and reads better).
+//
+// Everything else needs math.Abs(a-b) <= tol — or a
+// //lint:ignore floateq <reason> when bitwise identity is genuinely
+// intended (e.g. detecting an unchanged dual point).
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "forbid ==/!= between floats except zero/Inf sentinels and the NaN self-compare idiom",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if !isFloat(pass, be.X) || !isFloat(pass, be.Y) {
+			return true
+		}
+		if isZeroConst(pass, be.X) || isZeroConst(pass, be.Y) {
+			return true
+		}
+		if isInfCall(pass, be.X) || isInfCall(pass, be.Y) {
+			return true
+		}
+		if sameIdent(be.X, be.Y) {
+			return true
+		}
+		pass.Reportf(be.OpPos, "floating-point %s comparison; compare |a-b| against a tolerance (or math.IsNaN)", be.Op)
+		return true
+	})
+	return nil
+}
+
+// isFloat reports whether e has floating-point type (float32/float64 or
+// an untyped float constant).
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to 0.
+func isZeroConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// isInfCall reports whether e is a call to math.Inf.
+func isInfCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return analysis.IsPkgFunc(analysis.Callee(pass.TypesInfo, call), "math", "Inf")
+}
+
+// sameIdent reports whether x and y are the same plain identifier
+// (`v != v`, the NaN check).
+func sameIdent(x, y ast.Expr) bool {
+	xi, ok1 := ast.Unparen(x).(*ast.Ident)
+	yi, ok2 := ast.Unparen(y).(*ast.Ident)
+	return ok1 && ok2 && xi.Name == yi.Name
+}

@@ -1,0 +1,30 @@
+package floateq
+
+func cmpEq(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func cmpNeq(a, b float64) bool {
+	if a != b { // want `floating-point != comparison`
+		return true
+	}
+	return false
+}
+
+func cmp32(a, b float32) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func indexed(xs []float64) int {
+	n := 0
+	for i := range xs {
+		if xs[i] == xs[0] { // want `floating-point == comparison`
+			n++
+		}
+	}
+	return n
+}
+
+func nonZeroConst(x float64) bool {
+	return x == 1.5 // want `floating-point == comparison`
+}

@@ -1,0 +1,29 @@
+package floateq_clean
+
+import "math"
+
+const tol = 1e-9
+
+func close(a, b float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func zeroSentinel(x float64) bool {
+	return x == 0 // exact-zero sentinel is allowed
+}
+
+func zeroLeft(x float64) bool {
+	return 0.0 != x
+}
+
+func isInf(x float64) bool {
+	return x == math.Inf(1) // infinity is exact
+}
+
+func isNaN(x float64) bool {
+	return x != x // the NaN self-compare idiom
+}
+
+func ints(a, b int) bool {
+	return a == b // only floats are in scope
+}

@@ -1,0 +1,94 @@
+// Package geoigate guards the service's core privacy invariant: no
+// mechanism that entered the process as bytes — decoded from the wire
+// or loaded from the durable store — may reach the serving path without
+// passing the EnforceGeoI repair gate. Disk and network bytes are
+// untrusted even after checksums (CHANGES.md PR 1 fixed exactly this
+// class by hand): only EnforceGeoI proves the (ε, r)-Geo-I constraint
+// set holds to tolerance and repairs the residue.
+//
+// The mechanical form of the invariant is function-local: any function
+// that calls a mechanism-yielding loader — a function or method whose
+// name starts with Load or Decode and whose results include a
+// *Mechanism or *StoredEntry — must itself contain a call to
+// EnforceGeoI. Splitting load and gate across helpers hides the flow
+// from reviewers just as it hides it from this analyzer; keep them in
+// one function (see Server.entryFromStore for the canonical shape).
+package geoigate
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "geoigate",
+	Doc:  "functions loading/decoding mechanisms must gate them through EnforceGeoI",
+	Run:  run,
+}
+
+// mechanismTypeNames are the named result types that mark a call as
+// yielding an untrusted mechanism.
+var mechanismTypeNames = map[string]bool{"Mechanism": true, "StoredEntry": true}
+
+func run(pass *analysis.Pass) error {
+	// Per enclosing function: positions of mechanism-yielding sources,
+	// and whether an EnforceGeoI call appears.
+	type source struct {
+		pos  ast.Node
+		name string
+	}
+	sources := map[ast.Node][]source{}
+	gated := map[ast.Node]bool{}
+
+	pass.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		encl := analysis.EnclosingFuncDecl(stack)
+		if encl == nil {
+			return true
+		}
+		if fn.Name() == "EnforceGeoI" {
+			gated[encl] = true
+			return true
+		}
+		if (strings.HasPrefix(fn.Name(), "Load") || strings.HasPrefix(fn.Name(), "Decode")) && yieldsMechanism(fn) {
+			sources[encl] = append(sources[encl], source{call, fn.Name()})
+		}
+		return true
+	})
+
+	for encl, srcs := range sources {
+		if gated[encl] {
+			continue
+		}
+		fd := encl.(*ast.FuncDecl)
+		for _, s := range srcs {
+			pass.Reportf(s.pos.Pos(), "%s yields an untrusted mechanism but %s never calls EnforceGeoI; decoded/loaded mechanisms must pass the repair gate before they can be cached or served", s.name, fd.Name.Name)
+		}
+	}
+	return nil
+}
+
+// yieldsMechanism reports whether any direct result of fn is (a pointer
+// to) a named type called Mechanism or StoredEntry.
+func yieldsMechanism(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if n := analysis.NamedType(sig.Results().At(i).Type()); n != nil && mechanismTypeNames[n.Obj().Name()] {
+			return true
+		}
+	}
+	return false
+}

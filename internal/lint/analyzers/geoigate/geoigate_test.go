@@ -1,0 +1,12 @@
+package geoigate_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/analyzers/geoigate"
+)
+
+func TestGeoigate(t *testing.T) {
+	analysistest.Run(t, "testdata", geoigate.Analyzer, "geoigate", "geoigate_clean")
+}

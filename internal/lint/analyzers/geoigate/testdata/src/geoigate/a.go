@@ -1,0 +1,45 @@
+package geoigate
+
+import "errors"
+
+// Mechanism is an obfuscation mechanism as decoded from bytes.
+type Mechanism struct {
+	Rows [][]float64
+}
+
+// StoredEntry is a durable snapshot wrapping a mechanism.
+type StoredEntry struct {
+	M *Mechanism
+}
+
+// DecodeMechanism parses untrusted bytes.
+func DecodeMechanism(b []byte) (*Mechanism, error) {
+	if len(b) == 0 {
+		return nil, errors.New("empty")
+	}
+	return &Mechanism{}, nil
+}
+
+// LoadEntry reads a snapshot from disk.
+func LoadEntry(path string) (*StoredEntry, error) {
+	if path == "" {
+		return nil, errors.New("no path")
+	}
+	return &StoredEntry{M: &Mechanism{}}, nil
+}
+
+func fromWire(b []byte) (*Mechanism, error) {
+	m, err := DecodeMechanism(b) // want `DecodeMechanism yields an untrusted mechanism but fromWire never calls EnforceGeoI`
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func warmStart(path string) *Mechanism {
+	e, err := LoadEntry(path) // want `LoadEntry yields an untrusted mechanism but warmStart never calls EnforceGeoI`
+	if err != nil {
+		return nil
+	}
+	return e.M
+}

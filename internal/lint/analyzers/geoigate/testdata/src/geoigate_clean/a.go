@@ -1,0 +1,41 @@
+package geoigate_clean
+
+import "errors"
+
+type Mechanism struct {
+	Rows [][]float64
+}
+
+// EnforceGeoI is the repair gate: it proves the constraint set holds to
+// tolerance (stub for the analyzer test).
+func EnforceGeoI(m *Mechanism) error {
+	if m == nil {
+		return errors.New("nil mechanism")
+	}
+	return nil
+}
+
+func DecodeMechanism(b []byte) (*Mechanism, error) {
+	if len(b) == 0 {
+		return nil, errors.New("empty")
+	}
+	return &Mechanism{}, nil
+}
+
+// fromWire gates the decoded mechanism before returning it.
+func fromWire(b []byte) (*Mechanism, error) {
+	m, err := DecodeMechanism(b)
+	if err != nil {
+		return nil, err
+	}
+	if err := EnforceGeoI(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// buildFresh constructs a mechanism locally: nothing untrusted, no gate
+// needed.
+func buildFresh(k int) *Mechanism {
+	return &Mechanism{Rows: make([][]float64, k)}
+}

@@ -1,0 +1,250 @@
+// Package nilness reports dereferences that are provably nil, a
+// conservative AST-level subset of golang.org/x/tools' SSA-based
+// nilness analyzer (not part of go vet's default set). Two patterns,
+// both chosen for a near-zero false-positive rate:
+//
+//  1. Guarded-nil use: inside the then-branch of `if x == nil { ... }`
+//     (or the else-branch of `if x != nil`), x is dereferenced —
+//     selected through, indexed, called or unary-dereferenced — before
+//     any assignment to x in that branch.
+//
+//  2. Never-assigned pointer: a function-local `var p *T` that is
+//     dereferenced somewhere in the function although no statement in
+//     the function ever assigns to p or takes its address.
+//
+// Method calls are treated as dereferences too: a nil receiver is only
+// rarely legal, and such APIs can carry a //lint:ignore nilness note.
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "report dereferences of provably nil values (guarded-nil use, never-assigned pointers)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkGuardedNil(pass)
+	checkNeverAssigned(pass)
+	return nil
+}
+
+// checkGuardedNil implements pattern 1.
+func checkGuardedNil(pass *analysis.Pass) {
+	pass.Inspect(func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		be, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		var v *ast.Ident
+		switch {
+		case isNilIdent(pass, be.Y):
+			v, _ = ast.Unparen(be.X).(*ast.Ident)
+		case isNilIdent(pass, be.X):
+			v, _ = ast.Unparen(be.Y).(*ast.Ident)
+		}
+		if v == nil {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[v]
+		if obj == nil || !nilable(obj.Type()) {
+			return true
+		}
+		var branch ast.Stmt
+		switch be.Op {
+		case token.EQL: // if v == nil { <v is nil here> }
+			branch = ifs.Body
+		case token.NEQ: // if v != nil {} else { <v is nil here> }
+			branch = ifs.Else
+		}
+		if branch == nil {
+			return true
+		}
+		reportDerefsBeforeAssign(pass, branch, obj)
+		return true
+	})
+}
+
+// reportDerefsBeforeAssign walks branch in source order, reporting
+// dereferences of obj until (if ever) obj is reassigned.
+func reportDerefsBeforeAssign(pass *analysis.Pass, branch ast.Stmt, obj types.Object) {
+	assigned := token.Pos(0) // position of first reassignment, 0 = none
+	ast.Inspect(branch, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					if assigned == 0 || as.Pos() < assigned {
+						assigned = as.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(branch, func(n ast.Node) bool {
+		if assigned != 0 && n != nil && n.Pos() >= assigned {
+			return false
+		}
+		if d, ok := derefOf(pass, n); ok && pass.TypesInfo.Uses[d] == obj {
+			pass.Reportf(d.Pos(), "%s is nil on this path (guarded by the enclosing if) and is dereferenced", d.Name)
+		}
+		return true
+	})
+}
+
+// checkNeverAssigned implements pattern 2.
+func checkNeverAssigned(pass *analysis.Pass) {
+	pass.Inspect(func(n ast.Node) bool {
+		// Each FuncDecl body is scanned once, nested closures included;
+		// descending into FuncLits separately would double-report.
+		fn, ok := n.(*ast.FuncDecl)
+		if !ok {
+			return true
+		}
+		body := fn.Body
+		if body == nil {
+			return true
+		}
+		// Candidates: `var p *T` (no initializer) declared in this body.
+		candidates := map[types.Object]*ast.Ident{}
+		ast.Inspect(body, func(n ast.Node) bool {
+			ds, ok := n.(*ast.DeclStmt)
+			if !ok {
+				return true
+			}
+			gd, ok := ds.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := pass.TypesInfo.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if _, isPtr := types.Unalias(obj.Type()).(*types.Pointer); isPtr {
+						candidates[obj] = name
+					}
+				}
+			}
+			return true
+		})
+		if len(candidates) == 0 {
+			return true
+		}
+		// Disqualify candidates that are ever assigned or have their
+		// address taken (including inside nested closures).
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						delete(candidates, pass.TypesInfo.Uses[id])
+					}
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+						delete(candidates, pass.TypesInfo.Uses[id])
+					}
+				}
+			case *ast.RangeStmt:
+				if id, ok := n.Key.(*ast.Ident); ok {
+					delete(candidates, pass.TypesInfo.Uses[id])
+				}
+				if id, ok := n.Value.(*ast.Ident); ok {
+					delete(candidates, pass.TypesInfo.Uses[id])
+				}
+			}
+			return true
+		})
+		if len(candidates) == 0 {
+			return true
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if d, ok := derefOf(pass, n); ok {
+				if obj := pass.TypesInfo.Uses[d]; obj != nil {
+					if _, isCand := candidates[obj]; isCand {
+						pass.Reportf(d.Pos(), "%s is declared without initialization, never assigned, and dereferenced here: it is always nil", d.Name)
+					}
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// derefOf reports whether n dereferences a plain identifier, returning
+// it: x.f (pointer base), *x, x[i], x(...) on a nilable callee.
+func derefOf(pass *analysis.Pass, n ast.Node) (*ast.Ident, bool) {
+	switch n := n.(type) {
+	case *ast.SelectorExpr:
+		id, ok := ast.Unparen(n.X).(*ast.Ident)
+		if !ok {
+			return nil, false
+		}
+		// Only pointer bases hard-crash; interfaces/values do not.
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			if _, isPtr := types.Unalias(obj.Type()).(*types.Pointer); isPtr {
+				return id, true
+			}
+		}
+	case *ast.StarExpr:
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			return id, true
+		}
+	case *ast.IndexExpr:
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				switch types.Unalias(obj.Type()).Underlying().(type) {
+				case *types.Slice, *types.Pointer:
+					return id, true
+				}
+			}
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				if _, isFunc := types.Unalias(obj.Type()).Underlying().(*types.Signature); isFunc {
+					return id, true
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// nilable reports whether a value of type t can be nil.
+func nilable(t types.Type) bool {
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}

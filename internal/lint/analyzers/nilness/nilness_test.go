@@ -1,0 +1,12 @@
+package nilness_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/analyzers/nilness"
+)
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, "testdata", nilness.Analyzer, "nilness", "nilness_clean")
+}

@@ -1,0 +1,33 @@
+package nilness
+
+type node struct {
+	next *node
+	val  int
+}
+
+func guarded(n *node) int {
+	if n == nil {
+		return n.val // want `n is nil on this path`
+	}
+	return 0
+}
+
+func guardedElse(n *node) int {
+	if n != nil {
+		return n.val
+	} else {
+		return n.val // want `n is nil on this path`
+	}
+}
+
+func guardedDeref(p *int) int {
+	if p == nil {
+		return *p // want `p is nil on this path`
+	}
+	return *p
+}
+
+func neverAssigned() int {
+	var p *node
+	return p.val // want `p is declared without initialization, never assigned, and dereferenced`
+}

@@ -1,0 +1,35 @@
+package nilness_clean
+
+type node struct {
+	next *node
+	val  int
+}
+
+func guardedSafely(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.val
+}
+
+func assignedInBranch(n *node) int {
+	if n == nil {
+		n = &node{}
+		return n.val // n was repaired before the dereference
+	}
+	return n.val
+}
+
+func assignedLater() int {
+	var p *node
+	p = &node{val: 3}
+	return p.val
+}
+
+func addressTaken() int {
+	var p *node
+	fill(&p)
+	return p.val
+}
+
+func fill(pp **node) { *pp = &node{val: 1} }

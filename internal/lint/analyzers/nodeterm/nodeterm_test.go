@@ -1,0 +1,12 @@
+package nodeterm_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/analyzers/nodeterm"
+)
+
+func TestNodeterm(t *testing.T) {
+	analysistest.Run(t, "testdata", nodeterm.Analyzer, "nodeterm", "nodeterm_clean")
+}

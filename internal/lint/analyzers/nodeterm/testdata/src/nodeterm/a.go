@@ -1,0 +1,30 @@
+package nodeterm
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `wall-clock read time.Now`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock read time.Since`
+}
+
+func deadline(t1 time.Time) time.Duration {
+	return time.Until(t1) // want `wall-clock read time.Until`
+}
+
+func draw() float64 {
+	return rand.Float64() // want `global math/rand call rand.Float64`
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want `global math/rand call rand.Intn`
+}
+
+func mix(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand call rand.Shuffle`
+}

@@ -1,0 +1,19 @@
+package nodeterm_clean
+
+import (
+	"math/rand"
+	"time"
+)
+
+func seeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed)) // constructing a seeded generator is allowed
+	return r.Intn(n)                    // and its methods draw from explicit state
+}
+
+func span(a, b time.Time) time.Duration {
+	return a.Sub(b) // time.Time methods are fine; only the wall clock is banned
+}
+
+func scale(d time.Duration) time.Duration {
+	return 2 * d
+}

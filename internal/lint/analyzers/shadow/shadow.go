@@ -1,0 +1,68 @@
+// Package shadow reports shadowed variable declarations, in the spirit
+// of golang.org/x/tools' vet "shadow" analyzer (not part of go vet's
+// default set). A declaration shadows when an inner scope re-declares a
+// name that a function-local variable of the identical type already
+// holds — and the outer variable is still used after the inner scope
+// closes, which is the pattern where a reader (or a later edit)
+// plausibly confuses the two. Shadowing where the outer variable is
+// never touched again is deliberate scoping and stays silent, and the
+// name "err" is exempt — idiomatic Go re-declares it constantly.
+package shadow
+
+import (
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "report inner declarations shadowing a same-typed outer variable that is used afterwards",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// usesAfter[obj] records the latest position at which obj is read.
+	lastUse := map[types.Object]token.Pos{}
+	for id, obj := range pass.TypesInfo.Uses {
+		if v, ok := obj.(*types.Var); ok && !v.IsField() {
+			if id.Pos() > lastUse[obj] {
+				lastUse[obj] = id.Pos()
+			}
+		}
+	}
+
+	for id, obj := range pass.TypesInfo.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || v.Name() == "_" || v.Name() == "err" {
+			continue
+		}
+		inner := v.Parent()
+		if inner == nil {
+			continue
+		}
+		// Walk enclosing scopes up to (excluding) package scope looking
+		// for a same-named, same-typed, earlier variable.
+		for s := inner.Parent(); s != nil && s != pass.Pkg.Scope() && s.Parent() != types.Universe; s = s.Parent() {
+			outer := s.Lookup(v.Name())
+			if outer == nil {
+				continue
+			}
+			ov, ok := outer.(*types.Var)
+			if !ok || ov == v || ov.Pos() >= v.Pos() {
+				break
+			}
+			if !types.Identical(ov.Type(), v.Type()) {
+				break
+			}
+			// Only report when the outer variable is used after the inner
+			// scope ends — that is where the two get confused.
+			if lastUse[ov] > inner.End() {
+				pass.Reportf(id.Pos(), "declaration of %q shadows a %s declared at %s that is used after this scope ends", v.Name(), types.TypeString(v.Type(), types.RelativeTo(pass.Pkg)), pass.Fset.Position(ov.Pos()))
+			}
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package shadow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/analyzers/shadow"
+)
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, "testdata", shadow.Analyzer, "shadow", "shadow_clean")
+}

@@ -1,0 +1,19 @@
+package shadow
+
+func sum(items []int) int {
+	total := 0
+	for _, it := range items {
+		total := total + it // want `declaration of "total" shadows`
+		_ = total
+	}
+	return total
+}
+
+func lookup(m map[string]int, key string) int {
+	v := m[key]
+	if w, ok := m[key+"!"]; ok {
+		v := w // want `declaration of "v" shadows`
+		_ = v
+	}
+	return v
+}

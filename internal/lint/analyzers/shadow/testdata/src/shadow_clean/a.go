@@ -1,0 +1,34 @@
+package shadow_clean
+
+import "errors"
+
+// err shadowing is idiomatic Go and exempt.
+func errShadow() error {
+	err := errors.New("outer")
+	if true {
+		err := errors.New("inner")
+		_ = err
+	}
+	return err
+}
+
+// The outer variable is dead after the loop: deliberate scoping, silent.
+func noUseAfter(items []int) int {
+	n := 0
+	before := n
+	for _, it := range items {
+		n := it
+		_ = n
+	}
+	return before
+}
+
+// Different types cannot be confused the same way.
+func differentType() string {
+	v := 1
+	{
+		v := "inner"
+		_ = v
+	}
+	return string(rune(v))
+}
