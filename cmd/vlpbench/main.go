@@ -16,6 +16,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -220,14 +221,14 @@ func measureServe() (*serveReport, error) {
 	coldRes := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			srv := server.New(server.Config{CacheSize: 1, MaxSolves: 1})
+			srv := server.New(context.Background(), server.Config{CacheSize: 1, MaxSolves: 1})
 			if err := servePost(srv.Handler(), "/solve", solvePayload); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 
-	srv := server.New(server.Config{CacheSize: 4, MaxSolves: 2, Seed: 7})
+	srv := server.New(context.Background(), server.Config{CacheSize: 4, MaxSolves: 2, Seed: 7})
 	h := srv.Handler()
 	if err := servePost(h, "/solve", solvePayload); err != nil {
 		return nil, err

@@ -88,7 +88,7 @@ func main() {
 		}
 	}
 
-	srv := server.New(server.Config{
+	srv := server.New(context.Background(), server.Config{
 		CacheSize:        *cache,
 		MaxSolves:        *solves,
 		SolveWait:        *solveWait,

@@ -215,6 +215,7 @@ const cgTol = 1e-9
 // SolveCG is SolveCGCtx with a background context: it runs to a
 // convergence or iteration-limit stop and cannot be abandoned.
 func SolveCG(pr *Problem, opts CGOptions) (*CGResult, error) {
+	//lint:ignore ctxflow SolveCG is the documented non-cancellable convenience entry; cancellable callers use SolveCGCtx
 	return SolveCGCtx(context.Background(), pr, opts)
 }
 

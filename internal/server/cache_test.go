@@ -140,7 +140,7 @@ func TestSingleflightFollowerHonoursContext(t *testing.T) {
 }
 
 func TestHandlerValidation(t *testing.T) {
-	srv := New(Config{})
+	srv := New(context.Background(), Config{})
 	srv.solveFn = func(ctx context.Context, spec *serial.SolveSpec) (*entry, error) { return stubEntry(t), nil }
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

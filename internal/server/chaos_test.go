@@ -78,7 +78,7 @@ func TestChaos(t *testing.T) {
 			defer faultinject.Reset()
 			faultinject.Set(tc.site, tc.fault)
 
-			srv := New(Config{
+			srv := New(context.Background(), Config{
 				CacheSize:      8,
 				MaxSolves:      4,
 				SolveDeadline:  tc.deadline,
@@ -166,7 +166,7 @@ func TestChaosAbandonment(t *testing.T) {
 	// A long pricing stall guarantees the clients' deadlines fire first.
 	faultinject.Set(core.FaultSiteCGPricing, faultinject.Fault{Delay: 400 * time.Millisecond})
 
-	srv := New(Config{DisableUpgrade: true, SolveWait: 80 * time.Millisecond})
+	srv := New(context.Background(), Config{DisableUpgrade: true, SolveWait: 80 * time.Millisecond})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

@@ -33,7 +33,7 @@ func TestStoreWarmRestartPreservesServedMechanism(t *testing.T) {
 	spec := ladderSpec(t)
 	key := spec.Digest()
 
-	srvA := New(Config{Store: st, DisableUpgrade: true})
+	srvA := New(context.Background(), Config{Store: st, DisableUpgrade: true})
 	e1, cached, err := srvA.mechanismFor(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
@@ -50,7 +50,7 @@ func TestStoreWarmRestartPreservesServedMechanism(t *testing.T) {
 
 	// Second life: fresh server over the same directory. The mechanism
 	// must come off disk, not out of the solver.
-	srvB := New(Config{Store: st, DisableUpgrade: true})
+	srvB := New(context.Background(), Config{Store: st, DisableUpgrade: true})
 	e2, _, err := srvB.mechanismFor(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
@@ -90,7 +90,7 @@ func TestStoreWarmRestartPreservesServedMechanism(t *testing.T) {
 // request instead of being re-solved.
 func TestStoreServesEvictedEntry(t *testing.T) {
 	st := testStore(t)
-	srv := New(Config{CacheSize: 1, Store: st, DisableUpgrade: true})
+	srv := New(context.Background(), Config{CacheSize: 1, Store: st, DisableUpgrade: true})
 	ctr := &solveCounter{counts: map[string]int{}, tb: t}
 	ctr.install(srv)
 	specs := testSpecs(t, 2)
@@ -124,7 +124,7 @@ func interruptedSolve(t *testing.T, st *store.Store, spec *serial.SolveSpec) (*S
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	srv := New(Config{
+	srv := New(context.Background(), Config{
 		Store:            st,
 		CheckpointRounds: 1,
 		DisableUpgrade:   true,
@@ -169,7 +169,7 @@ func TestStoreDegradedEntryStateSurvives(t *testing.T) {
 	// Restart (upgrades off): the entry must come back with its resume
 	// state, and the checkpoint must be recognised as an interrupted
 	// solve.
-	srvB := New(Config{Store: st, DisableUpgrade: true})
+	srvB := New(context.Background(), Config{Store: st, DisableUpgrade: true})
 	if snap := srvB.Stats(); snap.RecoveredSolves != 1 {
 		t.Fatalf("recovered_solves = %d, want 1", snap.RecoveredSolves)
 	}
@@ -207,7 +207,7 @@ func TestStoreRecoveryReenqueuesInterruptedSolve(t *testing.T) {
 	key := spec.Digest()
 	interruptedSolve(t, st, spec) // leaves a checkpoint, no entry persisted
 
-	srv := New(Config{Store: st})
+	srv := New(context.Background(), Config{Store: st})
 	if snap := srv.Stats(); snap.RecoveredSolves != 1 {
 		t.Fatalf("recovered_solves = %d, want 1", snap.RecoveredSolves)
 	}
@@ -248,7 +248,7 @@ func TestStoreStaleCheckpointDropped(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srvB := New(Config{Store: st})
+	srvB := New(context.Background(), Config{Store: st})
 	if snap := srvB.Stats(); snap.RecoveredSolves != 0 {
 		t.Fatalf("recovered_solves = %d, want 0 for a stale checkpoint", snap.RecoveredSolves)
 	}
@@ -277,7 +277,7 @@ func mustState(t *testing.T, srv *Server, spec *serial.SolveSpec) *core.CGState 
 // never a served mechanism.
 func TestStoreCorruptSnapshotDegradesToResolve(t *testing.T) {
 	st := testStore(t)
-	srv := New(Config{Store: st, DisableUpgrade: true})
+	srv := New(context.Background(), Config{Store: st, DisableUpgrade: true})
 	ctr := &solveCounter{counts: map[string]int{}, tb: t}
 	ctr.install(srv)
 	spec := testSpecs(t, 1)[0]
@@ -309,7 +309,7 @@ func TestStoreCorruptSnapshotDegradesToResolve(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(st.Dir(), testSpecs(t, 2)[1].Digest()+".mech"), []byte("junk"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	srv2 := New(Config{Store: st, DisableUpgrade: true})
+	srv2 := New(context.Background(), Config{Store: st, DisableUpgrade: true})
 	if snap := srv2.Stats(); snap.CorruptQuarantined != 1 {
 		t.Fatalf("startup scan corrupt_quarantined = %d, want 1", snap.CorruptQuarantined)
 	}
@@ -321,7 +321,7 @@ func TestStoreCorruptSnapshotDegradesToResolve(t *testing.T) {
 func TestChaosStoreFaults(t *testing.T) {
 	defer faultinject.Reset()
 	st := testStore(t)
-	srv := New(Config{Store: st, DisableUpgrade: true})
+	srv := New(context.Background(), Config{Store: st, DisableUpgrade: true})
 	ctr := &solveCounter{counts: map[string]int{}, tb: t}
 	ctr.install(srv)
 	specs := testSpecs(t, 2)
@@ -376,7 +376,7 @@ func TestChaosStoreFaults(t *testing.T) {
 // -race this is the checkpoint-vs-serve data-race check.
 func TestChaosCheckpointServeRace(t *testing.T) {
 	st := testStore(t)
-	srv := New(Config{
+	srv := New(context.Background(), Config{
 		Store:            st,
 		CheckpointRounds: 1,
 		DisableUpgrade:   true,

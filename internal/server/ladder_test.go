@@ -39,7 +39,7 @@ func assertServable(t *testing.T, e *entry) {
 
 // TestLadderOptimal: an unconstrained solve lands on the top rung.
 func TestLadderOptimal(t *testing.T) {
-	srv := New(Config{DisableUpgrade: true})
+	srv := New(context.Background(), Config{DisableUpgrade: true})
 	e, err := srv.solve(context.Background(), ladderSpec(t))
 	if err != nil {
 		t.Fatal(err)
@@ -55,7 +55,7 @@ func TestLadderOptimal(t *testing.T) {
 func TestLadderIncumbentOnCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	srv := New(Config{
+	srv := New(context.Background(), Config{
 		DisableUpgrade: true,
 		CG: core.CGOptions{
 			Xi: -1e-9, RelGap: -1, // force many rounds so the cancel lands mid-run
@@ -84,7 +84,7 @@ func TestLadderIncumbentOnCancel(t *testing.T) {
 func TestLadderFallbackOnPreCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	srv := New(Config{DisableUpgrade: true})
+	srv := New(context.Background(), Config{DisableUpgrade: true})
 	e, err := srv.solve(ctx, ladderSpec(t))
 	if err != nil {
 		t.Fatalf("pre-cancelled solve must degrade, got error %v", err)
@@ -106,7 +106,7 @@ func TestLadderFallbackOnPreCancel(t *testing.T) {
 func TestLadderFallbackOnPanic(t *testing.T) {
 	defer faultinject.Reset()
 	faultinject.Set(core.FaultSiteCGMaster, faultinject.Fault{Panic: "chaos", Times: 1})
-	srv := New(Config{DisableUpgrade: true})
+	srv := New(context.Background(), Config{DisableUpgrade: true})
 	e, err := srv.solve(context.Background(), ladderSpec(t))
 	if err != nil {
 		t.Fatalf("panicked solve must degrade, got error %v", err)
@@ -125,7 +125,7 @@ func TestLadderFallbackOnPanic(t *testing.T) {
 func TestLadderFallbackOnSolverError(t *testing.T) {
 	defer faultinject.Reset()
 	faultinject.Set(core.FaultSiteCGMaster, faultinject.Fault{Err: errors.New("chaos"), Times: 1})
-	srv := New(Config{DisableUpgrade: true})
+	srv := New(context.Background(), Config{DisableUpgrade: true})
 	e, err := srv.solve(context.Background(), ladderSpec(t))
 	if err != nil {
 		t.Fatalf("failed solve must degrade, got error %v", err)
@@ -143,7 +143,7 @@ func TestLadderFallbackOnSolverError(t *testing.T) {
 func TestLadderSolveDeadline(t *testing.T) {
 	defer faultinject.Reset()
 	faultinject.Set(core.FaultSiteCGPricing, faultinject.Fault{Delay: time.Second, Times: 1})
-	srv := New(Config{DisableUpgrade: true, SolveDeadline: 300 * time.Millisecond})
+	srv := New(context.Background(), Config{DisableUpgrade: true, SolveDeadline: 300 * time.Millisecond})
 	start := time.Now()
 	e, _, err := srv.mechanismFor(context.Background(), ladderSpec(t))
 	if err != nil {
@@ -167,7 +167,7 @@ func TestLadderSolveDeadline(t *testing.T) {
 // struct, losing iteration caps and observers).
 func TestExactSpecKeepsConfiguredLimits(t *testing.T) {
 	observed := 0
-	srv := New(Config{
+	srv := New(context.Background(), Config{
 		DisableUpgrade: true,
 		CG: core.CGOptions{
 			MaxIterations: 1,
@@ -190,7 +190,7 @@ func TestExactSpecKeepsConfiguredLimits(t *testing.T) {
 // TestUpgradePromotesDegradedEntry: a degraded cache entry is re-solved
 // in the background and replaced by the optimal-tier result.
 func TestUpgradePromotesDegradedEntry(t *testing.T) {
-	srv := New(Config{})
+	srv := New(context.Background(), Config{})
 	degradedFirst := true
 	real := srv.solveFn
 	srv.solveFn = func(ctx context.Context, spec *serial.SolveSpec) (*entry, error) {
@@ -242,7 +242,7 @@ func TestUpgradeResumesFromIncumbentState(t *testing.T) {
 
 	// Reference: rounds a from-scratch exact-ish solve takes.
 	freshRounds := 0
-	fresh := New(Config{DisableUpgrade: true, CG: core.CGOptions{
+	fresh := New(context.Background(), Config{DisableUpgrade: true, CG: core.CGOptions{
 		Xi: -1e-9, RelGap: -1,
 		OnIteration: func(int, core.CGIteration) { freshRounds++ },
 	}})
@@ -257,7 +257,7 @@ func TestUpgradeResumesFromIncumbentState(t *testing.T) {
 	rounds := 0
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	srv := New(Config{DisableUpgrade: true, CG: core.CGOptions{
+	srv := New(context.Background(), Config{DisableUpgrade: true, CG: core.CGOptions{
 		Xi: -1e-9, RelGap: -1,
 		OnIteration: func(iter int, _ core.CGIteration) {
 			rounds++
@@ -302,7 +302,7 @@ func TestUpgradeResumesFromIncumbentState(t *testing.T) {
 // Shutdown cancels the remaining detached solves outright and still
 // returns only after they have stopped.
 func TestShutdownExpiredDrainCancelsSolves(t *testing.T) {
-	srv := New(Config{})
+	srv := New(context.Background(), Config{})
 	solveStarted := make(chan struct{})
 	srv.solveFn = func(ctx context.Context, spec *serial.SolveSpec) (*entry, error) {
 		close(solveStarted)

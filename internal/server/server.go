@@ -216,8 +216,10 @@ type Server struct {
 	solveFn func(ctx context.Context, spec *serial.SolveSpec) (*entry, error)
 }
 
-// New returns a ready-to-serve Server.
-func New(cfg Config) *Server {
+// New returns a ready-to-serve Server. Background solves and upgrades
+// are bounded by ctx: cancelling it (in addition to calling Close)
+// aborts every in-flight solve the server owns.
+func New(ctx context.Context, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:    cfg,
@@ -226,7 +228,7 @@ func New(cfg Config) *Server {
 		slots:  make(chan struct{}, cfg.MaxSolves),
 		stats:  &stats{},
 	}
-	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.ctx, s.cancel = context.WithCancel(ctx)
 	s.solveFn = s.solve
 	s.store = cfg.Store
 	if s.store != nil {
