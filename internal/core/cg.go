@@ -510,6 +510,7 @@ func samePoint(a, b []float64) bool {
 		return false
 	}
 	for i := range a {
+		//lint:ignore floateq the pricing certificate is only valid at the exact dual point; bitwise identity is the contract here
 		if a[i] != b[i] {
 			return false
 		}
