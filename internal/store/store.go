@@ -40,6 +40,7 @@ const (
 	FaultSiteFsync      = "store/fsync"
 	FaultSiteRename     = "store/rename"
 	FaultSiteRead       = "store/read"
+	FaultSiteQuarantine = "store/quarantine"
 )
 
 const (
@@ -298,6 +299,12 @@ func (s *Store) quarantine(name string) {
 	qdir := filepath.Join(s.dir, quarantineDir)
 	_ = os.MkdirAll(qdir, 0o755)
 	src := filepath.Join(s.dir, name)
+	if ferr := faultinject.At(FaultSiteQuarantine); ferr != nil {
+		// An injected crash here leaves the corrupt file in place; the
+		// next scan re-detects and re-quarantines it, so losing the move
+		// is safe.
+		return
+	}
 	if err := os.Rename(src, filepath.Join(qdir, name)); err != nil {
 		_ = os.Remove(src)
 	}
