@@ -922,7 +922,7 @@ func (p *pricer) priceAll(ctx context.Context, pi []float64) ([]float64, []cgCol
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
 			wk := p.worker(w)
 			for l := range work {
@@ -942,7 +942,7 @@ func (p *pricer) priceAll(ctx context.Context, pi []float64) ([]float64, []cgCol
 					mins[l], cols[l], errs[l] = p.priceOne(ctx, wk, l, pi)
 				}()
 			}
-		}(w)
+		}()
 	}
 	for l := 0; l < k; l++ {
 		work <- l

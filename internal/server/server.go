@@ -258,8 +258,8 @@ func (s *Server) mechanismFor(ctx context.Context, spec *serial.SolveSpec) (*ent
 	e, err := s.flight.do(waitCtx, key, s.ctx, s.cfg.SolveDeadline, func(solveCtx context.Context) (*entry, error) {
 		// Double-check under singleflight: a previous flight may have
 		// populated the cache between our miss and becoming leader.
-		if e, ok := s.cache.get(key); ok {
-			return e, nil
+		if cached, ok := s.cache.get(key); ok {
+			return cached, nil
 		}
 		if s.closed.Load() {
 			return nil, ErrClosed
@@ -267,13 +267,13 @@ func (s *Server) mechanismFor(ctx context.Context, spec *serial.SolveSpec) (*ent
 		// A durable snapshot beats a cold solve: consult the store before
 		// competing for a solve slot, so restarts and LRU evictions cost a
 		// disk read, not minutes of column generation.
-		if e := s.entryFromStore(key, spec); e != nil {
-			evicted := s.cache.add(key, e)
+		if warm := s.entryFromStore(key, spec); warm != nil {
+			evicted := s.cache.add(key, warm)
 			s.stats.storeLoaded(evicted)
-			if e.tier != serial.QualityOptimal {
+			if warm.tier != serial.QualityOptimal {
 				s.scheduleUpgrade(key, spec)
 			}
-			return e, nil
+			return warm, nil
 		}
 		select {
 		case s.slots <- struct{}{}:
@@ -283,20 +283,20 @@ func (s *Server) mechanismFor(ctx context.Context, spec *serial.SolveSpec) (*ent
 		}
 		defer func() { <-s.slots }()
 		start := time.Now()
-		e, err := s.solveFn(solveCtx, spec)
+		ent, err := s.solveFn(solveCtx, spec)
 		if err != nil {
 			s.stats.solveFailed()
 			return nil, err
 		}
-		e.key = key
-		e.solveTime = time.Since(start)
-		evicted := s.cache.add(key, e)
-		s.stats.solved(e.solveTime, evicted)
-		s.persistEntry(key, spec, e)
-		if e.tier != serial.QualityOptimal {
+		ent.key = key
+		ent.solveTime = time.Since(start)
+		evicted := s.cache.add(key, ent)
+		s.stats.solved(ent.solveTime, evicted)
+		s.persistEntry(key, spec, ent)
+		if ent.tier != serial.QualityOptimal {
 			s.scheduleUpgrade(key, spec)
 		}
-		return e, nil
+		return ent, nil
 	})
 	if err != nil {
 		return nil, false, err
