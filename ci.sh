@@ -1,13 +1,29 @@
 #!/bin/sh
-# Tier-1+ gate. The first three commands are the fast tier-1 check; the
-# final race pass re-runs every test under the race detector and is what
-# guards the concurrent obfuscation service (internal/server) and the
-# parallel column-generation pricing. Expect the race pass to take a few
-# minutes — internal/core dominates.
+# Tier-1+ gate. The first four commands are the fast tier-1 check
+# (build, vet, vlplint, tests); the race pass re-runs every test under
+# the race detector and is what guards the concurrent obfuscation
+# service (internal/server) and the parallel column-generation pricing.
+# Expect the race pass to take a few minutes — internal/core dominates.
+#
+#   ./ci.sh         full gate
+#   ./ci.sh -quick  build + vet + vlplint only (pre-push sanity, ~30s)
 set -eux
 
 go build ./...
 go vet ./...
+
+# Domain-invariant static analysis: cmd/vlplint enforces the solver's
+# safety contracts (Geo-I repair gate, atomic stats, context plumbing,
+# float tolerance, chaos-point coverage, kernel determinism, plus
+# nilness/shadow). Zero findings is a hard gate; see DESIGN.md
+# "Static analysis" for the invariant catalogue and the suppression
+# directive.
+go run ./cmd/vlplint ./...
+
+if [ "${1:-}" = "-quick" ]; then
+    exit 0
+fi
+
 go test ./...
 go test -race ./...
 
