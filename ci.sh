@@ -40,6 +40,21 @@ go test -race -run 'TestStore' ./internal/server ./internal/store
 # complete the interrupted one from its checkpoint.
 go test -count=1 -run 'TestKillRestartRecovery' ./cmd/vlpserved
 
+# Admission/coalescing gate: the serving-tier invariants under the race
+# detector — cached digests keep serving (and are never 429'd) while a
+# deliberately slow cold solve holds every solve-pool slot, and a
+# same-digest burst inside one coalescing window costs exactly one
+# solve. These also run in the -race pass above; the explicit run keeps
+# the gate legible and fails fast when the admission layer regresses.
+go test -race -run 'TestAdmission|TestServeGate|TestCoalesce' ./internal/server
+
+# Load-harness smoke: a ~5s open-loop vlpload run against an in-process
+# vlpserved. Hard-fails on any response outside {2xx, 429} and on a
+# BENCH_serve.json that does not pass the checked-in schema check
+# (internal/loadgen.ValidateJSON), so the serving path and the
+# benchmark artifact format are exercised end-to-end on every gate.
+go test -count=1 -run 'TestLoadSmoke' ./cmd/vlpload
+
 # Allocation-regression gate: the warm-start hot paths (persistent
 # master re-solve, persistent pricing subproblems) carry AllocsPerRun
 # budgets; run them without -race, whose instrumentation changes alloc

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/server"
+)
+
+// TestLoadSmoke is ci.sh's serving-path smoke gate: a short open-loop
+// run against an in-process vlpserved (real solver, tiny grid) must
+// produce a BENCH_serve.json that passes the checked-in Go schema check
+// with zero responses outside {2xx, 429}. It uses real wall-clock
+// dispatch, so it is skipped in -short mode (the deterministic
+// scheduler tests live in internal/loadgen and always run).
+func TestLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock load run; internal/loadgen covers the scheduler deterministically")
+	}
+
+	srv := server.New(context.Background(), server.Config{
+		CacheSize:      8,
+		SolvePool:      2,
+		ServePool:      16,
+		CoalesceWindow: 2 * time.Millisecond,
+		SolveWait:      30 * time.Second,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	cfg := harnessConfig{
+		base:     ts.URL,
+		rate:     200,
+		duration: 1500 * time.Millisecond,
+		specs:    3,
+		zipfS:    1.2,
+		zipfV:    1,
+		seed:     1,
+		locs:     2,
+		rows:     2,
+		cols:     2,
+		delta:    0.3,
+		warmup:   true,
+	}
+	rep, err := run(context.Background(), cfg, wallClock{})
+	if err != nil {
+		t.Fatalf("harness run failed: %v", err)
+	}
+	rep.GeneratedUnix = time.Now().Unix()
+	rep.GoVersion = runtime.Version()
+
+	// Hard gate: any response outside {2xx, 429} fails the smoke run.
+	if rep.ErrorRate != 0 {
+		t.Fatalf("smoke run saw non-2xx/429 responses: error rate %v (report: %+v)", rep.ErrorRate, rep)
+	}
+	if rep.Requests < 200 {
+		t.Fatalf("smoke run dispatched only %d requests; open-loop dispatcher fell behind badly", rep.Requests)
+	}
+
+	// The pool is pre-solved, so the steady state must serve overwhelmingly
+	// from cache and the server must have solved each digest exactly once.
+	if rep.RungMix.Cached == 0 {
+		t.Fatalf("no cached serves after warmup; rung mix %+v", rep.RungMix)
+	}
+	if rep.Server == nil {
+		t.Fatal("report missing server-side /stats counters")
+	}
+	if int(rep.Server.Solves) != cfg.specs {
+		t.Fatalf("server solved %d times for a %d-digest warmed pool", rep.Server.Solves, cfg.specs)
+	}
+
+	// The emitted artifact must pass the same schema check ci.sh applies.
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := loadgen.ValidateJSON(data)
+	if err != nil {
+		t.Fatalf("emitted BENCH_serve.json failed the schema check: %v\n%s", err, data)
+	}
+	if back.Requests != rep.Requests {
+		t.Fatalf("schema round trip changed request count: %d vs %d", back.Requests, rep.Requests)
+	}
+}
+
+// TestBuildWorkloadDeterministic: the digest pool and payloads are a
+// pure function of the seed, so two harnesses with the same flags load
+// identical request streams.
+func TestBuildWorkloadDeterministic(t *testing.T) {
+	cfg := harnessConfig{specs: 4, locs: 3, rows: 2, cols: 2, delta: 0.3, seed: 9}
+	specsA, payloadsA, err := buildWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specsB, payloadsB, err := buildWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specsA {
+		if specsA[i].Digest() != specsB[i].Digest() {
+			t.Fatalf("spec %d digest diverged across identically seeded builds", i)
+		}
+		if string(payloadsA[i]) != string(payloadsB[i]) {
+			t.Fatalf("payload %d diverged across identically seeded builds", i)
+		}
+	}
+	for i := 1; i < len(specsA); i++ {
+		if specsA[i].Digest() == specsA[0].Digest() {
+			t.Fatalf("spec %d shares a digest with spec 0; pool is not %d distinct regions", i, len(specsA))
+		}
+	}
+}

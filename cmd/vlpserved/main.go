@@ -5,11 +5,19 @@
 //
 // Usage:
 //
-//	vlpserved [-addr :8750] [-cache 16] [-solves 2] [-solve-wait 2m]
+//	vlpserved [-addr :8750] [-cache 16] [-solve-pool 2] [-serve-pool 32]
+//	          [-coalesce-window 0] [-solve-wait 2m]
 //	          [-solve-deadline 2m] [-no-upgrade] [-seed 1]
 //	          [-xi -0.05] [-relgap 0.02]
 //	          [-store-dir DIR] [-checkpoint-rounds 8] [-no-store]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// Serving is two admission tiers: -solve-pool bounds concurrent cold
+// column-generation solves (excess cold requests get 429), -serve-pool
+// bounds concurrent cached sampling on a disjoint pool so cached
+// obfuscation never queues behind cold solves, and -coalesce-window
+// batches same-digest cold requests into one solve. cmd/vlpload is the
+// open-loop harness that measures the resulting latency split.
 //
 // Endpoints (JSON bodies; see internal/serial for the wire structs):
 //
@@ -46,7 +54,10 @@ import (
 func main() {
 	addr := flag.String("addr", ":8750", "listen address")
 	cache := flag.Int("cache", 16, "mechanism LRU capacity")
-	solves := flag.Int("solves", 2, "max concurrent cold solves (excess gets 429)")
+	solves := flag.Int("solves", 2, "max concurrent cold solves (deprecated alias for -solve-pool)")
+	solvePool := flag.Int("solve-pool", 0, "solve-tier pool: max concurrent cold solves, excess gets 429 (0 = take -solves)")
+	servePool := flag.Int("serve-pool", 32, "serve-tier pool: max concurrent sampling requests, disjoint from the solve pool")
+	coalesceWindow := flag.Duration("coalesce-window", 0, "batching delay before a cold solve starts, coalescing same-digest bursts into one solve (0 = off)")
 	solveWait := flag.Duration("solve-wait", 2*time.Minute, "max time a request waits for a cold solve")
 	solveDeadline := flag.Duration("solve-deadline", 2*time.Minute, "max wall time per CG solve before it degrades to its incumbent (0 = unbounded)")
 	noUpgrade := flag.Bool("no-upgrade", false, "disable background re-solves that promote degraded cache entries")
@@ -91,6 +102,9 @@ func main() {
 	srv := server.New(context.Background(), server.Config{
 		CacheSize:        *cache,
 		MaxSolves:        *solves,
+		SolvePool:        *solvePool,
+		ServePool:        *servePool,
+		CoalesceWindow:   *coalesceWindow,
 		SolveWait:        *solveWait,
 		SolveDeadline:    *solveDeadline,
 		DisableUpgrade:   *noUpgrade,
@@ -108,9 +122,14 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	pool := *solvePool
+	if pool <= 0 {
+		pool = *solves
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "vlpserved: listening on %s (cache %d, max solves %d)\n", *addr, *cache, *solves)
+	fmt.Fprintf(os.Stderr, "vlpserved: listening on %s (cache %d, solve pool %d, serve pool %d, coalesce %v)\n",
+		*addr, *cache, pool, *servePool, *coalesceWindow)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

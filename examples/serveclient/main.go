@@ -9,9 +9,7 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -82,27 +80,16 @@ func main() {
 	}
 }
 
-// post sends a JSON body through the retrying client and decodes the
-// JSON response into out, surfacing non-200s as errors.
+// post sends a JSON body through the retrying client's shared PostJSON
+// path (the same one cmd/vlpload's warmup uses), surfacing any final
+// non-2xx status as an error.
 func post(c *retryhttp.Client, url string, in, out interface{}) error {
-	payload, err := json.Marshal(in)
+	status, err := c.PostJSON(context.Background(), url, in, out)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
-	if err != nil {
-		return err
+	if status < 200 || status >= 300 {
+		return fmt.Errorf("%s: server answered %d past the retry budget", url, status)
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var e serial.ErrorResponse
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return fmt.Errorf("%s: %s (%s)", url, resp.Status, e.Error)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return nil
 }

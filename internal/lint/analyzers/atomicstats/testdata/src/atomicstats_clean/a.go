@@ -18,6 +18,28 @@ func counter(s *stats) *atomic.Uint64 {
 	return &s.hits // passing the counter by pointer keeps access atomic
 }
 
+// gauge mirrors the server's admission-gate pattern: a helper struct
+// holds pointers to stats fields and mutates them through atomic
+// methods. Both the address-of at construction and the method calls
+// through the stored pointers are legal.
+type gauge struct {
+	depth   *atomic.Int64
+	rejects *atomic.Uint64
+}
+
+func newGauge(s *stats) gauge {
+	return gauge{depth: &s.total, rejects: &s.hits}
+}
+
+func (g gauge) enter() bool {
+	if g.depth.Add(1) > 4 {
+		g.depth.Add(-1)
+		g.rejects.Add(1)
+		return false
+	}
+	return true
+}
+
 // plain is not a stats struct, so ordinary fields stay legal.
 type plain struct {
 	n int

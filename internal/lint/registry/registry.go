@@ -58,8 +58,8 @@ func All() []Scoped {
 		},
 		{
 			Analyzer: nodeterm.Analyzer,
-			Scope:    regexp.MustCompile(`^repro/internal/(lp|geoi|discretize|geom|roadnet)$`),
-			Why:      "numeric kernels must be reproducible: no wall clock, no global RNG",
+			Scope:    regexp.MustCompile(`^repro/internal/(lp|geoi|discretize|geom|roadnet|loadgen)$`),
+			Why:      "numeric kernels and the load-schedule kernel must be reproducible: no wall clock, no global RNG",
 		},
 		{
 			Analyzer: nilness.Analyzer,

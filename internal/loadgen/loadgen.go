@@ -1,0 +1,177 @@
+// Package loadgen is the deterministic kernel of the vlpload open-loop
+// load harness: it builds a seeded arrival schedule (constant arrival
+// rate, Zipf-skewed target popularity) and executes it against an
+// arbitrary request function, recording per-request outcomes into the
+// BENCH_serve.json report (see report.go).
+//
+// Open-loop means the generator fires requests at their scheduled
+// instants regardless of whether earlier requests have completed — the
+// arrival process is independent of service time, which is what exposes
+// queueing collapse (a closed-loop driver self-throttles the moment the
+// server slows down and hides exactly the tail it should measure).
+//
+// Determinism contract: this package is in vlplint's nodeterm scope —
+// it never reads the wall clock or the global math/rand state. Time
+// comes from an injected Clock (tests use VirtualClock and run with no
+// real sleeps), randomness from explicitly seeded generators, so a
+// (seed, rate, duration) triple always produces the identical request
+// schedule.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the scheduler so the dispatch loop is
+// deterministic under test. Implementations must be safe for concurrent
+// use. cmd/vlpload supplies the wall clock; tests use VirtualClock.
+type Clock interface {
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, whichever is first.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// VirtualClock is a Clock whose Sleep advances the clock instantly:
+// scheduler tests run an entire multi-second plan in microseconds of
+// wall time and still observe exact per-arrival timestamps.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtualClock returns a virtual clock starting at start.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now returns the virtual instant.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep advances the virtual clock by d without blocking.
+func (c *VirtualClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+	return nil
+}
+
+// Zipf draws target indices in [0, n) with Zipf(s, v) popularity: rank
+// 0 is the most popular region digest, matching the locally-relevant
+// observation that a few regions dominate serving traffic. A fixed seed
+// yields a fixed pick sequence.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf builds a seeded Zipf picker over n targets. The exponent s
+// must exceed 1 and v must be at least 1 (math/rand's parameterisation);
+// n must be positive.
+func NewZipf(seed int64, s, v float64, n int) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("loadgen: zipf needs a positive target count, got %d", n)
+	}
+	if !(s > 1) || !(v >= 1) {
+		return nil, fmt.Errorf("loadgen: zipf requires s > 1 and v >= 1, got s=%v v=%v", s, v)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, v, uint64(n-1))
+	if z == nil {
+		return nil, fmt.Errorf("loadgen: invalid zipf parameters s=%v v=%v n=%d", s, v, n)
+	}
+	return &Zipf{z: z}, nil
+}
+
+// Pick draws the next target index.
+func (z *Zipf) Pick() int { return int(z.z.Uint64()) }
+
+// Arrival is one scheduled request: fire at offset At from run start
+// against target index Target.
+type Arrival struct {
+	At     time.Duration
+	Target int
+}
+
+// Schedule builds the deterministic open-loop plan: floor(rate·duration)
+// arrivals at constant spacing 1/rate, targets drawn from pick in
+// arrival order. The same (rate, duration, pick-sequence) always yields
+// the identical plan.
+func Schedule(rate float64, duration time.Duration, pick func() int) ([]Arrival, error) {
+	if !(rate > 0) {
+		return nil, fmt.Errorf("loadgen: arrival rate must be positive, got %v", rate)
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("loadgen: duration must be positive, got %v", duration)
+	}
+	n := int(rate * duration.Seconds())
+	if n <= 0 {
+		return nil, fmt.Errorf("loadgen: rate %v over %v schedules zero arrivals", rate, duration)
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	plan := make([]Arrival, n)
+	for i := range plan {
+		plan[i] = Arrival{At: time.Duration(i) * interval, Target: pick()}
+	}
+	return plan, nil
+}
+
+// Result is one completed request as classified by the caller's request
+// function.
+type Result struct {
+	// Target is the spec-pool index the request was aimed at.
+	Target int
+	// Status is the HTTP status (0 on a transport error).
+	Status int
+	// Rung is the serving rung observed on a 2xx response: RungCached
+	// when the response was served from cache, else the mechanism's
+	// quality tier (optimal/incumbent/fallback). Empty on non-2xx.
+	Rung string
+	// Latency is request wall time as measured by the caller's clock.
+	Latency time.Duration
+}
+
+// RungCached labels responses answered from the mechanism cache in the
+// report's rung mix; non-cached 2xx responses carry their quality tier
+// (serial.Quality*) instead.
+const RungCached = "cached"
+
+// Run executes the plan open-loop: the dispatcher sleeps until each
+// arrival's offset and fires do in its own goroutine without waiting
+// for earlier requests, then blocks until every dispatched request has
+// returned. Results are positionally aligned with the dispatched prefix
+// of plan; a cancelled ctx stops dispatching and truncates the result
+// slice to what actually fired.
+func Run(ctx context.Context, clock Clock, plan []Arrival, do func(context.Context, Arrival) Result) []Result {
+	results := make([]Result, len(plan))
+	start := clock.Now()
+	dispatched := 0
+	var wg sync.WaitGroup
+	for i, a := range plan {
+		if wait := a.At - clock.Now().Sub(start); wait > 0 {
+			if err := clock.Sleep(ctx, wait); err != nil {
+				break
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = do(ctx, a)
+		}()
+		dispatched++
+	}
+	wg.Wait()
+	return results[:dispatched]
+}

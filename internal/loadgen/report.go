@@ -1,0 +1,242 @@
+// BENCH_serve.json: the serving-path counterpart of BENCH_solver.json.
+// cmd/vlpload emits one Report per run; ci.sh's smoke gate re-validates
+// the emitted file through ValidateJSON, so a field rename or a
+// truncated write fails CI rather than silently producing an
+// unparseable trajectory point.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// RunConfig records the knobs that shaped a run, so BENCH_serve.json
+// entries are comparable across commits only when their configs match.
+type RunConfig struct {
+	// TargetRate is the configured open-loop arrival rate in requests
+	// per second; AchievedRate in the report tells how closely the
+	// dispatcher held it.
+	TargetRate float64 `json:"target_rate_rps"`
+	// DurationSec is the configured run length in seconds.
+	DurationSec float64 `json:"duration_sec"`
+	// Specs is the size of the region-digest pool.
+	Specs int `json:"specs"`
+	// ZipfS and ZipfV parameterise target popularity; larger S skews
+	// harder toward the hottest digest.
+	ZipfS float64 `json:"zipf_s"`
+	ZipfV float64 `json:"zipf_v"`
+	// Seed makes the whole request schedule reproducible.
+	Seed int64 `json:"seed"`
+	// LocsPerRequest is the obfuscate batch size per request.
+	LocsPerRequest int `json:"locs_per_request"`
+}
+
+// Quantiles holds nearest-rank latency quantiles in milliseconds.
+type Quantiles struct {
+	P50  float64 `json:"p50"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Max  float64 `json:"max"`
+}
+
+// RungMix counts 2xx responses by serving rung: cached responses plus
+// the three quality tiers of the degradation ladder for cold serves.
+type RungMix struct {
+	Cached    int `json:"cached"`
+	Optimal   int `json:"optimal"`
+	Incumbent int `json:"incumbent"`
+	Fallback  int `json:"fallback"`
+}
+
+// ServerCounters is the slice of the server's /stats snapshot worth
+// archiving next to client-side latencies.
+type ServerCounters struct {
+	Solves           uint64 `json:"solves"`
+	CacheHits        uint64 `json:"cache_hits"`
+	CacheMisses      uint64 `json:"cache_misses"`
+	Rejected         uint64 `json:"rejected"`
+	Coalesced        uint64 `json:"coalesced_requests"`
+	AdmissionRejects uint64 `json:"admission_rejects"`
+	DegradedServes   uint64 `json:"degraded_serves"`
+}
+
+// Report is the BENCH_serve.json payload. GeneratedUnix and GoVersion
+// are stamped by the caller (cmd/vlpload) — this package never reads
+// the wall clock.
+type Report struct {
+	GeneratedUnix int64     `json:"generated_unix"`
+	GoVersion     string    `json:"go_version"`
+	Config        RunConfig `json:"config"`
+
+	// Requests counts dispatched requests; AchievedRate is
+	// Requests/elapsed and should sit near Config.TargetRate for a
+	// healthy open-loop run.
+	Requests     int     `json:"requests"`
+	AchievedRate float64 `json:"achieved_rate_rps"`
+
+	// LatencyMs covers every non-rejected completed request;
+	// CachedLatencyMs restricts to cache-served responses — the tier
+	// whose isolation from cold solves the admission control exists to
+	// protect.
+	LatencyMs       Quantiles `json:"latency_ms"`
+	CachedLatencyMs Quantiles `json:"cached_latency_ms"`
+
+	// Rate429 is the fraction of requests shed with 429 (solve-gate
+	// backpressure or serve-gate admission rejects); ErrorRate is the
+	// fraction that failed any other way (transport error or a non-2xx,
+	// non-429 status). Both are in [0, 1].
+	Rate429   float64 `json:"rate_429"`
+	ErrorRate float64 `json:"error_rate"`
+
+	RungMix RungMix `json:"rung_mix"`
+
+	// Server mirrors the target's /stats counters at run end, when the
+	// harness could fetch them (nil against a server it cannot reach).
+	Server *ServerCounters `json:"server,omitempty"`
+}
+
+// BuildReport folds per-request results into a Report. elapsed is the
+// wall (or virtual) time between the first dispatch and the last
+// completion as observed by the run's clock.
+func BuildReport(cfg RunConfig, results []Result, elapsed time.Duration) Report {
+	rep := Report{Config: cfg, Requests: len(results)}
+	if elapsed > 0 {
+		rep.AchievedRate = float64(len(results)) / elapsed.Seconds()
+	}
+	var all, cached []time.Duration
+	n429, nerr := 0, 0
+	for _, r := range results {
+		switch {
+		case r.Status == 429:
+			n429++
+			continue
+		case r.Status < 200 || r.Status >= 300:
+			nerr++
+			continue
+		}
+		all = append(all, r.Latency)
+		switch r.Rung {
+		case RungCached:
+			rep.RungMix.Cached++
+			cached = append(cached, r.Latency)
+		case "incumbent":
+			rep.RungMix.Incumbent++
+		case "fallback":
+			rep.RungMix.Fallback++
+		default:
+			// An empty or unknown rung on a 2xx response comes from a
+			// server predating quality tiers; count it as optimal rather
+			// than inventing a bucket.
+			rep.RungMix.Optimal++
+		}
+	}
+	if len(results) > 0 {
+		rep.Rate429 = float64(n429) / float64(len(results))
+		rep.ErrorRate = float64(nerr) / float64(len(results))
+	}
+	rep.LatencyMs = quantiles(all)
+	rep.CachedLatencyMs = quantiles(cached)
+	return rep
+}
+
+// quantiles computes nearest-rank quantiles in milliseconds; the zero
+// Quantiles is returned for an empty sample.
+func quantiles(sample []time.Duration) Quantiles {
+	if len(sample) == 0 {
+		return Quantiles{}
+	}
+	sorted := make([]time.Duration, len(sample))
+	copy(sorted, sample)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) float64 {
+		idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return float64(sorted[idx]) / float64(time.Millisecond)
+	}
+	return Quantiles{
+		P50:  at(0.50),
+		P99:  at(0.99),
+		P999: at(0.999),
+		Max:  float64(sorted[len(sorted)-1]) / float64(time.Millisecond),
+	}
+}
+
+// Validate is the checked-in schema gate for BENCH_serve.json: it
+// rejects reports with missing stamps, out-of-range rates, disordered
+// quantiles, or a rung mix that does not reconcile with the request
+// count. ci.sh feeds the emitted file back through ValidateJSON.
+func (r *Report) Validate() error {
+	if r.GeneratedUnix <= 0 {
+		return fmt.Errorf("loadgen: report missing generated_unix stamp")
+	}
+	if r.GoVersion == "" {
+		return fmt.Errorf("loadgen: report missing go_version stamp")
+	}
+	if !(r.Config.TargetRate > 0) || !(r.Config.DurationSec > 0) {
+		return fmt.Errorf("loadgen: report config has non-positive rate (%v) or duration (%v)",
+			r.Config.TargetRate, r.Config.DurationSec)
+	}
+	if r.Config.Specs <= 0 || r.Config.LocsPerRequest <= 0 {
+		return fmt.Errorf("loadgen: report config has non-positive specs (%d) or locs_per_request (%d)",
+			r.Config.Specs, r.Config.LocsPerRequest)
+	}
+	if r.Requests <= 0 {
+		return fmt.Errorf("loadgen: report records no requests")
+	}
+	if !(r.AchievedRate > 0) {
+		return fmt.Errorf("loadgen: report has non-positive achieved rate %v", r.AchievedRate)
+	}
+	for _, rate := range []struct {
+		name string
+		v    float64
+	}{{"rate_429", r.Rate429}, {"error_rate", r.ErrorRate}} {
+		if rate.v < 0 || rate.v > 1 || math.IsNaN(rate.v) {
+			return fmt.Errorf("loadgen: report %s %v outside [0, 1]", rate.name, rate.v)
+		}
+	}
+	for _, q := range []struct {
+		name string
+		q    Quantiles
+	}{{"latency_ms", r.LatencyMs}, {"cached_latency_ms", r.CachedLatencyMs}} {
+		if q.q.P50 < 0 || q.q.P50 > q.q.P99 || q.q.P99 > q.q.P999 || q.q.P999 > q.q.Max {
+			return fmt.Errorf("loadgen: report %s quantiles disordered: p50=%v p99=%v p999=%v max=%v",
+				q.name, q.q.P50, q.q.P99, q.q.P999, q.q.Max)
+		}
+	}
+	m := r.RungMix
+	if m.Cached < 0 || m.Optimal < 0 || m.Incumbent < 0 || m.Fallback < 0 {
+		return fmt.Errorf("loadgen: report rung mix has a negative count: %+v", m)
+	}
+	served := m.Cached + m.Optimal + m.Incumbent + m.Fallback
+	shed := int(math.Round((r.Rate429 + r.ErrorRate) * float64(r.Requests)))
+	if served+shed != r.Requests {
+		return fmt.Errorf("loadgen: rung mix (%d served) plus shed (%d) does not reconcile with %d requests",
+			served, shed, r.Requests)
+	}
+	return nil
+}
+
+// ValidateJSON decodes data strictly (unknown fields rejected, so a
+// field rename cannot slip through as an always-zero value) and applies
+// Validate. This is the check ci.sh runs against the emitted file.
+func ValidateJSON(data []byte) (*Report, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("loadgen: malformed BENCH_serve.json: %w", err)
+	}
+	if err := rep.Validate(); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}

@@ -1,0 +1,143 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testConfig() RunConfig {
+	return RunConfig{
+		TargetRate: 100, DurationSec: 2, Specs: 8,
+		ZipfS: 1.2, ZipfV: 1, Seed: 1, LocsPerRequest: 4,
+	}
+}
+
+// stamp fills the caller-side fields BuildReport leaves to cmd/vlpload.
+func stamp(r Report) Report {
+	r.GeneratedUnix = 1754500000
+	r.GoVersion = "go1.24.0"
+	return r
+}
+
+func TestBuildReportFoldsResults(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	results := []Result{
+		{Status: 200, Rung: RungCached, Latency: ms(1)},
+		{Status: 200, Rung: RungCached, Latency: ms(2)},
+		{Status: 200, Rung: "optimal", Latency: ms(30)},
+		{Status: 200, Rung: "incumbent", Latency: ms(20)},
+		{Status: 200, Rung: "fallback", Latency: ms(10)},
+		{Status: 429},
+		{Status: 429},
+		{Status: 0}, // transport error
+		{Status: 504},
+		{Status: 200, Rung: RungCached, Latency: ms(3)},
+	}
+	rep := stamp(BuildReport(testConfig(), results, 2*time.Second))
+
+	if rep.Requests != 10 {
+		t.Fatalf("requests = %d, want 10", rep.Requests)
+	}
+	if rep.AchievedRate != 5 {
+		t.Fatalf("achieved rate = %v, want 5 rps", rep.AchievedRate)
+	}
+	if rep.Rate429 != 0.2 {
+		t.Fatalf("rate_429 = %v, want 0.2", rep.Rate429)
+	}
+	if rep.ErrorRate != 0.2 {
+		t.Fatalf("error_rate = %v, want 0.2", rep.ErrorRate)
+	}
+	want := RungMix{Cached: 3, Optimal: 1, Incumbent: 1, Fallback: 1}
+	if rep.RungMix != want {
+		t.Fatalf("rung mix = %+v, want %+v", rep.RungMix, want)
+	}
+	if rep.LatencyMs.Max != 30 || rep.CachedLatencyMs.Max != 3 {
+		t.Fatalf("max latencies = %v / %v, want 30 / 3 ms", rep.LatencyMs.Max, rep.CachedLatencyMs.Max)
+	}
+	if rep.CachedLatencyMs.P50 != 2 {
+		t.Fatalf("cached p50 = %v ms, want 2", rep.CachedLatencyMs.P50)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("folded report failed its own schema check: %v", err)
+	}
+}
+
+// TestQuantilesNearestRank pins the quantile convention on a known
+// sample so the tracked BENCH_serve.json numbers cannot silently change
+// meaning.
+func TestQuantilesNearestRank(t *testing.T) {
+	sample := make([]time.Duration, 1000)
+	for i := range sample {
+		sample[i] = time.Duration(i+1) * time.Millisecond // 1..1000ms
+	}
+	q := quantiles(sample)
+	if q.P50 != 500 || q.P99 != 990 || q.P999 != 999 || q.Max != 1000 {
+		t.Fatalf("nearest-rank quantiles = %+v, want p50=500 p99=990 p999=999 max=1000", q)
+	}
+	if got := quantiles(nil); got != (Quantiles{}) {
+		t.Fatalf("empty sample quantiles = %+v, want zero", got)
+	}
+}
+
+func TestValidateJSONRoundTrip(t *testing.T) {
+	rep := stamp(BuildReport(testConfig(), []Result{
+		{Status: 200, Rung: RungCached, Latency: time.Millisecond},
+		{Status: 429},
+	}, time.Second))
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ValidateJSON(data)
+	if err != nil {
+		t.Fatalf("round-tripped report rejected: %v", err)
+	}
+	if back.Requests != rep.Requests || back.RungMix != rep.RungMix {
+		t.Fatalf("round trip changed the report: %+v vs %+v", back, &rep)
+	}
+}
+
+func TestValidateJSONRejectsMalformed(t *testing.T) {
+	valid := stamp(BuildReport(testConfig(), []Result{
+		{Status: 200, Rung: RungCached, Latency: time.Millisecond},
+	}, time.Second))
+
+	cases := []struct {
+		name    string
+		mutate  func(r *Report)
+		raw     string // when non-empty, validated verbatim instead
+		wantErr string
+	}{
+		{name: "truncated JSON", raw: `{"generated_unix": 17`, wantErr: "malformed"},
+		{name: "unknown field", raw: `{"generated_unix": 1, "bogus_field": true}`, wantErr: "malformed"},
+		{name: "missing stamp", mutate: func(r *Report) { r.GeneratedUnix = 0 }, wantErr: "generated_unix"},
+		{name: "missing go version", mutate: func(r *Report) { r.GoVersion = "" }, wantErr: "go_version"},
+		{name: "zero requests", mutate: func(r *Report) { r.Requests = 0 }, wantErr: "no requests"},
+		{name: "rate out of range", mutate: func(r *Report) { r.Rate429 = 1.5 }, wantErr: "rate_429"},
+		{name: "disordered quantiles", mutate: func(r *Report) { r.LatencyMs.P50 = r.LatencyMs.P999 + 1 }, wantErr: "quantiles"},
+		{name: "unreconciled rung mix", mutate: func(r *Report) { r.RungMix.Cached += 3 }, wantErr: "reconcile"},
+		{name: "bad config", mutate: func(r *Report) { r.Config.TargetRate = 0 }, wantErr: "non-positive rate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := []byte(tc.raw)
+			if tc.raw == "" {
+				rep := valid
+				tc.mutate(&rep)
+				var err error
+				if data, err = json.Marshal(&rep); err != nil {
+					t.Fatal(err)
+				}
+			}
+			_, err := ValidateJSON(data)
+			if err == nil {
+				t.Fatalf("schema check accepted a report that should fail (%s)", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}

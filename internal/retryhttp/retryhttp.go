@@ -14,8 +14,11 @@
 package retryhttp
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -162,6 +165,42 @@ func (c *Client) Do(req *http.Request) (*http.Response, error) {
 		return resp, nil
 	}
 	return nil, fmt.Errorf("retryhttp: %d attempts failed, last error: %w", c.attempts(), lastErr)
+}
+
+// PostJSON marshals in, POSTs it to url with the client's retry policy,
+// and decodes a 2xx JSON response into out (when out is non-nil). The
+// final HTTP status is returned in every non-error case, including a
+// retryable status that outlived the attempt budget — so a load
+// generator's warmup loop can distinguish "server still shedding" (429,
+// nil error) from a dead target. This is the shared request path of
+// cmd/vlpload and the serveclient example.
+func (c *Client) PostJSON(ctx context.Context, url string, in, out interface{}) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, fmt.Errorf("retryhttp: encoding request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		// Drain so the transport can reuse the connection; the caller
+		// branches on the status, not the error body.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("retryhttp: decoding response: %w", err)
+		}
+	}
+	return resp.StatusCode, nil
 }
 
 // sleep waits for d or until ctx is done, whichever is first.

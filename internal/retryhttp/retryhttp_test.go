@@ -148,3 +148,59 @@ func TestRejectsUnreplayableBody(t *testing.T) {
 		t.Fatal("accepted a request whose body cannot be replayed")
 	}
 }
+
+// TestPostJSONRetriesThenDecodes drives the shared vlpload/serveclient
+// request path: a 429 with Retry-After followed by a 2xx JSON body must
+// come back decoded, and a replayed attempt must carry the same body.
+func TestPostJSONRetriesThenDecodes(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if string(body) != `{"epsilon":5}` {
+			t.Errorf("attempt %d body = %q, replay lost the payload", attempts.Load(), body)
+		}
+		if attempts.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"key":"abc","cached":true}`)
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	var out struct {
+		Key    string `json:"key"`
+		Cached bool   `json:"cached"`
+	}
+	status, err := c.PostJSON(context.Background(), ts.URL, map[string]float64{"epsilon": 5}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK || out.Key != "abc" || !out.Cached {
+		t.Fatalf("status %d, decoded %+v; want 200 with key=abc cached=true", status, out)
+	}
+	if n := attempts.Load(); n != 2 {
+		t.Fatalf("server saw %d attempts, want 2", n)
+	}
+}
+
+// TestPostJSONSurfacesFinalStatus: a retryable status that outlives the
+// attempt budget comes back as (status, nil error) so warmup loops can
+// branch on it.
+func TestPostJSONSurfacesFinalStatus(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := &Client{MaxAttempts: 2, BaseDelay: time.Millisecond}
+	status, err := c.PostJSON(context.Background(), ts.URL, map[string]int{"x": 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 surfaced after exhausted retries", status)
+	}
+}

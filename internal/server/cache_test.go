@@ -62,7 +62,7 @@ func TestMechCacheLRU(t *testing.T) {
 }
 
 func TestSingleflightSharesOneCall(t *testing.T) {
-	g := newGroup()
+	g := newGroup(new(atomic.Uint64), new(atomic.Int64))
 	var calls atomic.Int64
 	release := make(chan struct{})
 	fn := func(context.Context) (*entry, error) {
@@ -112,7 +112,7 @@ func TestSingleflightSharesOneCall(t *testing.T) {
 }
 
 func TestSingleflightFollowerHonoursContext(t *testing.T) {
-	g := newGroup()
+	g := newGroup(new(atomic.Uint64), new(atomic.Int64))
 	release := make(chan struct{})
 	leaderDone := make(chan struct{})
 	go func() {

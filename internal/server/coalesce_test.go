@@ -1,0 +1,92 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCoalesceWindowBatchesSameDigestBurst is the race-enabled
+// coalescing test: N concurrent cold requests for the same digest,
+// arriving inside one coalescing window, must produce exactly one solve
+// even though they race for a single solve-pool slot. The window delays
+// the flight leader's slot acquisition long enough for the whole burst
+// to join the flight (or land on the freshly filled cache), so nobody
+// is shed with 429 and the solver runs once. ci.sh runs this under
+// -race explicitly.
+func TestCoalesceWindowBatchesSameDigestBurst(t *testing.T) {
+	srv := New(context.Background(), Config{
+		CacheSize:      8,
+		SolvePool:      1,
+		CoalesceWindow: 150 * time.Millisecond,
+		SolveWait:      30 * time.Second,
+	})
+	ctr := &solveCounter{counts: map[string]int{}, tb: t}
+	ctr.install(srv)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	spec := testSpecs(t, 1)[0]
+	const n = 16
+	codes := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, _ := postJSONB(t, ts, "/solve", spec)
+			codes <- code
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	for code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("burst request answered %d; the coalescing window must absorb same-digest bursts without shedding", code)
+		}
+	}
+
+	if got := ctr.total(); got != 1 {
+		t.Fatalf("solver ran %d times for a %d-request same-digest burst, want exactly 1", got, n)
+	}
+	snap := srv.Stats()
+	if snap.Solves != 1 {
+		t.Fatalf("/stats solves = %d, want 1", snap.Solves)
+	}
+	// Exact accounting for the other n-1 requests: each either joined the
+	// leader's flight (coalesced) or arrived after the flight resolved and
+	// hit the cache. Nothing may be double-counted or lost.
+	if snap.CoalescedRequests+snap.CacheHits != n-1 {
+		t.Fatalf("coalesced (%d) + cache hits (%d) = %d, want %d: burst accounting does not reconcile",
+			snap.CoalescedRequests, snap.CacheHits, snap.CoalescedRequests+snap.CacheHits, n-1)
+	}
+	if snap.Rejected != 0 {
+		t.Fatalf("%d requests were 429'd during a single-digest burst with SolvePool=1; coalescing should need only one slot", snap.Rejected)
+	}
+}
+
+// TestCoalesceWindowRespectsContext: a waiter that gives up during the
+// window must not wedge the flight — the leader still completes the
+// solve for later arrivals unless every waiter abandons.
+func TestCoalesceWaitHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- coalesceWait(ctx, time.Hour) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("coalesceWait returned nil after cancellation")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("coalesceWait ignored a cancelled context")
+	}
+	// And with no window configured it must be a no-op, not a stall.
+	if err := coalesceWait(context.Background(), 0); err != nil {
+		t.Fatalf("zero-window coalesceWait: %v", err)
+	}
+}

@@ -87,6 +87,16 @@ func (s *Server) handleObfuscate(w http.ResponseWriter, r *http.Request) {
 		s.writeServiceError(w, err)
 		return
 	}
+	// Sampling runs on the serve tier, acquired only after the mechanism
+	// is in hand: a request that just paid for (or queued on) a cold
+	// solve holds no serve slot during that wait, and a cached request
+	// never competes with the solve pool at all. One slot covers the
+	// whole batch.
+	if err := s.serveGate.acquire(r.Context()); err != nil {
+		s.writeServiceError(w, err)
+		return
+	}
+	defer s.serveGate.release()
 	g := e.prob.Part.G
 	out := make([]serial.Loc, len(req.Locations))
 	for i, loc := range req.Locations {

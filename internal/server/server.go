@@ -10,9 +10,15 @@
 //
 //   - concurrent requests for the same spec are deduplicated
 //     singleflight-style: one solve runs, everyone shares its result;
-//   - cold solves pass a bounded admission gate; past MaxSolves the
-//     request is rejected with 429 so load cannot pile up behind the
-//     solver;
+//     with a coalescing window configured the flight additionally holds
+//     the solve back briefly so a same-digest burst shares one solve-
+//     slot acquisition;
+//   - serving is two disjoint admission tiers: cold solves pass the
+//     solve pool (past SolvePool slots the request is rejected with 429
+//     so load cannot pile up behind the solver), while sampling passes
+//     the separate serve pool — cached obfuscation never queues behind
+//     cold solves, so cached tail latency is isolated from solver
+//     saturation;
 //   - every cached mechanism carries its own seeded RNG behind a mutex,
 //     so obfuscation is safe from any number of handler goroutines;
 //   - served mechanisms are re-verified against the full (ε, r)-Geo-I
@@ -62,7 +68,28 @@ type Config struct {
 	CacheSize int
 	// MaxSolves bounds concurrently running cold solves; requests whose
 	// spec needs a solve past this limit receive 429 (default 2).
+	// Deprecated alias for SolvePool: when both are set, SolvePool wins.
 	MaxSolves int
+	// SolvePool bounds concurrently running cold solves (the solve
+	// tier); requests whose spec needs a solve past this limit receive
+	// 429. Zero falls back to MaxSolves, then to the default of 2.
+	SolvePool int
+	// ServePool bounds concurrently sampling obfuscate requests (the
+	// serve tier, default 32). The serve pool is disjoint from the solve
+	// pool by construction: cached obfuscation never queues behind cold
+	// solves, which is what keeps cached tail latency flat while the
+	// solver saturates.
+	ServePool int
+	// ServeQueue bounds how many requests may wait for a serve-pool slot
+	// before the gate sheds load with 429 (default 8×ServePool).
+	ServeQueue int
+	// CoalesceWindow holds a cold solve's flight open for this long
+	// before the solve starts, so a burst of same-digest requests
+	// arriving within the window coalesces into one solve and one
+	// solve-slot acquisition. Zero (the default) disables the batching
+	// delay: requests still coalesce for the duration of the solve
+	// itself, classic singleflight.
+	CoalesceWindow time.Duration
 	// SolveWait caps how long a request waits for a cold solve before
 	// giving up with 504; the solve itself keeps running (until its own
 	// deadline or abandonment) and its result lands in the cache
@@ -106,8 +133,17 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize <= 0 {
 		c.CacheSize = 16
 	}
-	if c.MaxSolves <= 0 {
-		c.MaxSolves = 2
+	if c.SolvePool <= 0 {
+		c.SolvePool = c.MaxSolves
+	}
+	if c.SolvePool <= 0 {
+		c.SolvePool = 2
+	}
+	if c.ServePool <= 0 {
+		c.ServePool = 32
+	}
+	if c.ServeQueue <= 0 {
+		c.ServeQueue = 8 * c.ServePool
 	}
 	if c.SolveWait <= 0 {
 		c.SolveWait = 2 * time.Minute
@@ -190,10 +226,15 @@ type Server struct {
 	cfg    Config
 	cache  *mechCache
 	flight *group
-	slots  chan struct{} // admission gate for cold solves
-	stats  *stats
-	closed atomic.Bool
-	seq    atomic.Int64 // per-solve sampler seed offset
+	slots  chan struct{} // admission gate for cold solves (the solve pool)
+	// serveGate is the disjoint admission gate for the sampling tier:
+	// obfuscate requests acquire a serve slot only after their mechanism
+	// is in hand, so cached serving capacity is never consumed by — and
+	// never queues behind — cold solves.
+	serveGate *tierGate
+	stats     *stats
+	closed    atomic.Bool
+	seq       atomic.Int64 // per-solve sampler seed offset
 
 	// ctx is the root of every solve context; cancel fires when a
 	// shutdown drain budget expires and tears down remaining solves.
@@ -221,12 +262,14 @@ type Server struct {
 // aborts every in-flight solve the server owns.
 func New(ctx context.Context, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	st := &stats{}
 	s := &Server{
-		cfg:    cfg,
-		cache:  newMechCache(cfg.CacheSize),
-		flight: newGroup(),
-		slots:  make(chan struct{}, cfg.MaxSolves),
-		stats:  &stats{},
+		cfg:       cfg,
+		cache:     newMechCache(cfg.CacheSize),
+		flight:    newGroup(&st.coalesced, &st.solveQueueDepth),
+		slots:     make(chan struct{}, cfg.SolvePool),
+		serveGate: newTierGate(cfg.ServePool, cfg.ServeQueue, &st.serveQueueDepth, &st.admissionRejects),
+		stats:     st,
 	}
 	s.ctx, s.cancel = context.WithCancel(ctx)
 	s.solveFn = s.solve
@@ -256,6 +299,16 @@ func (s *Server) mechanismFor(ctx context.Context, spec *serial.SolveSpec) (*ent
 	waitCtx, cancel := context.WithTimeout(ctx, s.cfg.SolveWait)
 	defer cancel()
 	e, err := s.flight.do(waitCtx, key, s.ctx, s.cfg.SolveDeadline, func(solveCtx context.Context) (*entry, error) {
+		// Coalescing window: hold the flight open before committing to a
+		// cold solve, so a burst of same-digest requests arriving within
+		// the window joins this flight and the burst costs one solve slot
+		// instead of a queue of rejected retries. The window runs before
+		// the cache double-check, so whatever landed during it is used.
+		if w := s.cfg.CoalesceWindow; w > 0 {
+			if err := coalesceWait(solveCtx, w); err != nil {
+				return nil, err
+			}
+		}
 		// Double-check under singleflight: a previous flight may have
 		// populated the cache between our miss and becoming leader.
 		if cached, ok := s.cache.get(key); ok {
@@ -434,6 +487,19 @@ func (s *Server) solve(ctx context.Context, spec *serial.SolveSpec) (*entry, err
 		e.state = res.State
 	}
 	return e, nil
+}
+
+// coalesceWait sleeps the coalescing window, abandoning the wait (and
+// the flight) if the solve context ends first.
+func coalesceWait(ctx context.Context, w time.Duration) error {
+	t := time.NewTimer(w)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // isCancellation reports whether err is a context cancellation or

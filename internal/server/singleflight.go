@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -34,9 +35,17 @@ type group struct {
 	mu sync.Mutex
 	m  map[string]*call
 	wg sync.WaitGroup
+
+	// coalesced counts callers that joined an existing flight instead of
+	// starting one; waiting gauges callers currently blocked on a flight
+	// result. Both point into the server's lock-free stats struct.
+	coalesced *atomic.Uint64
+	waiting   *atomic.Int64
 }
 
-func newGroup() *group { return &group{m: make(map[string]*call)} }
+func newGroup(coalesced *atomic.Uint64, waiting *atomic.Int64) *group {
+	return &group{m: make(map[string]*call), coalesced: coalesced, waiting: waiting}
+}
 
 // do returns the result of fn for key, running fn at most once across
 // all concurrent callers of the same key. fn receives a context derived
@@ -70,10 +79,18 @@ func (g *group) do(ctx context.Context, key string, base context.Context, timeou
 			c.val, c.err = fn(solveCtx)
 		}()
 	}
+	if ok {
+		// Joining an existing flight is a coalesced request: with a
+		// coalescing window configured, a burst of same-digest cold
+		// requests shares the leader's single solve-slot acquisition.
+		g.coalesced.Add(1)
+	}
 	c.waiters++
 	g.mu.Unlock()
 
+	g.waiting.Add(1)
 	val, err := awaitCall(ctx, c)
+	g.waiting.Add(-1)
 
 	g.mu.Lock()
 	c.waiters--

@@ -24,6 +24,15 @@ type stats struct {
 	solveTotal atomic.Int64  // cumulative solve wall time, nanoseconds
 	solveMax   atomic.Int64  // longest single solve, nanoseconds
 
+	// Serving-tier counters. The depth fields are gauges (incremented on
+	// entry, decremented on exit) rather than monotonic counters: the
+	// flight group and the serve gate hold pointers to them and account
+	// for their own populations.
+	coalesced        atomic.Uint64 // requests that joined an in-flight solve instead of starting one
+	admissionRejects atomic.Uint64 // serve-gate 429s (cached-path admission, distinct from solve-gate rejected)
+	solveQueueDepth  atomic.Int64  // requests currently waiting on a cold-solve flight
+	serveQueueDepth  atomic.Int64  // requests currently queued or sampling inside the serve gate
+
 	// Durable-store counters.
 	storeWrites  atomic.Uint64 // entry snapshots committed to disk
 	storeLoads   atomic.Uint64 // cache misses answered from disk instead of a solve
@@ -106,6 +115,17 @@ type StatsSnapshot struct {
 	CancelledSolves uint64 `json:"cancelled_solves"`
 	PanicRecoveries uint64 `json:"panic_recoveries"`
 	Upgrades        uint64 `json:"upgrades"`
+	// Serving-tier admission and coalescing. SolveQueueDepth and
+	// ServeQueueDepth are instantaneous gauges (how many requests are
+	// waiting on a cold-solve flight / inside the serve gate right now);
+	// CoalescedRequests counts requests that joined an already in-flight
+	// solve for their digest rather than starting one; AdmissionRejects
+	// counts 429s issued by the serve gate — the solve gate's 429s stay
+	// in Rejected, so the two backpressure sources are distinguishable.
+	SolveQueueDepth   int64  `json:"solve_queue_depth"`
+	ServeQueueDepth   int64  `json:"serve_queue_depth"`
+	CoalescedRequests uint64 `json:"coalesced_requests"`
+	AdmissionRejects  uint64 `json:"admission_rejects"`
 	// Durability counters. StoreWrites/CheckpointWrites count snapshots
 	// committed; StoreLoads counts cache misses answered warm from disk
 	// (no solve ran); StoreLoadErrors counts snapshot loads that failed;
@@ -143,6 +163,11 @@ func (s *stats) snapshot(cache *mechCache) StatsSnapshot {
 		CancelledSolves: s.nCancelled.Load(),
 		PanicRecoveries: s.nPanics.Load(),
 		Upgrades:        s.nUpgrades.Load(),
+
+		SolveQueueDepth:   s.solveQueueDepth.Load(),
+		ServeQueueDepth:   s.serveQueueDepth.Load(),
+		CoalescedRequests: s.coalesced.Load(),
+		AdmissionRejects:  s.admissionRejects.Load(),
 
 		StoreWrites:        s.storeWrites.Load(),
 		StoreLoads:         s.storeLoads.Load(),
