@@ -40,6 +40,15 @@ go test -race -run 'TestStore' ./internal/server ./internal/store
 # complete the interrupted one from its checkpoint.
 go test -count=1 -run 'TestKillRestartRecovery' ./cmd/vlpserved
 
+# Kill-the-leader failover gate: three real vlpserved processes share a
+# store in -fleet mode; the lease-holding leader is SIGKILLed mid-solve
+# and a follower must take over within one lease TTL with a bumped
+# fencing token, resume the interrupted solve from its checkpoint, and
+# keep the remaining follower on the proxy path (zero local cold
+# solves). The in-process lease/fence protocol tests run under -race.
+go test -count=1 -run 'TestLeaderFailover' ./cmd/vlpserved
+go test -race -run 'TestFleet|TestLease' ./internal/server ./internal/store
+
 # Admission/coalescing gate: the serving-tier invariants under the race
 # detector — cached digests keep serving (and are never 429'd) while a
 # deliberately slow cold solve holds every solve-pool slot, and a
@@ -53,7 +62,10 @@ go test -race -run 'TestAdmission|TestServeGate|TestCoalesce' ./internal/server
 # BENCH_serve.json that does not pass the checked-in schema check
 # (internal/loadgen.ValidateJSON), so the serving path and the
 # benchmark artifact format are exercised end-to-end on every gate.
+# The fleet variant round-robins a -targets run over a two-member
+# shared-store fleet and gates the per_target report breakdown.
 go test -count=1 -run 'TestLoadSmoke' ./cmd/vlpload
+go test -count=1 -run 'TestLoadFleetSmoke' ./cmd/vlpload
 
 # Allocation-regression gate: the warm-start hot paths (persistent
 # master re-solve, persistent pricing subproblems) carry AllocsPerRun

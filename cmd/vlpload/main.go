@@ -9,12 +9,20 @@
 //
 // Usage:
 //
-//	vlpload [-addr http://localhost:8750] [-rate 100] [-duration 10s]
+//	vlpload [-addr http://localhost:8750] [-targets URL,URL,...]
+//	        [-rate 100] [-duration 10s]
 //	        [-specs 8] [-zipf-s 1.2] [-zipf-v 1] [-seed 1] [-locs 4]
 //	        [-rows 2] [-cols 2] [-delta 0.3] [-no-warmup]
 //	        [-out BENCH_serve.json]
 //	        [-selfserve] [-solve-pool 2] [-serve-pool 32]
 //	        [-coalesce-window 0] [-cache 16]
+//
+// -targets drives a multi-instance fleet: requests round-robin over the
+// comma-separated base URLs (deterministically, by arrival index) and
+// the report gains a per_target breakdown — per-member latency
+// quantiles and shed rates — so a follower whose misses proxy to the
+// leader shows up as a higher p99 on its slice rather than vanishing
+// into the aggregate. -targets overrides -addr.
 //
 // The digest pool is a seeded grid network with a ladder of epsilons —
 // one digest per epsilon — so the whole request schedule is reproducible
@@ -41,6 +49,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/loadgen"
@@ -70,7 +79,8 @@ func (wallClock) Sleep(ctx context.Context, d time.Duration) error {
 // harnessConfig is everything run needs; main fills it from flags, the
 // smoke test fills it directly.
 type harnessConfig struct {
-	base       string // target base URL
+	base       string   // target base URL (single-instance runs)
+	targets    []string // multi-instance base URLs, round-robin; overrides base when set
 	rate       float64
 	duration   time.Duration
 	specs      int
@@ -86,6 +96,7 @@ type harnessConfig struct {
 
 func main() {
 	addr := flag.String("addr", "http://localhost:8750", "vlpserved base URL")
+	targets := flag.String("targets", "", "comma-separated fleet base URLs; round-robins requests and adds a per-target report breakdown (overrides -addr)")
 	rate := flag.Float64("rate", 100, "open-loop arrival rate, requests per second")
 	duration := flag.Duration("duration", 10*time.Second, "measurement duration")
 	specs := flag.Int("specs", 8, "region-digest pool size (one digest per epsilon rung)")
@@ -110,6 +121,19 @@ func main() {
 		specs: *specs, zipfS: *zipfS, zipfV: *zipfV, seed: *seed,
 		locs: *locs, rows: *rows, cols: *cols, delta: *delta,
 		warmup: !*noWarmup,
+	}
+	if *targets != "" {
+		for _, u := range strings.Split(*targets, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				cfg.targets = append(cfg.targets, u)
+			}
+		}
+		if len(cfg.targets) == 0 {
+			fatalf("-targets lists no usable URLs: %q", *targets)
+		}
+		if *selfserve {
+			fatalf("-selfserve and -targets conflict: the in-process server is single-instance")
+		}
 	}
 
 	if *selfserve {
@@ -154,6 +178,11 @@ func main() {
 		rep.Requests, rep.AchievedRate, rep.Config.TargetRate,
 		rep.LatencyMs.P50, rep.LatencyMs.P99, rep.LatencyMs.P999,
 		rep.CachedLatencyMs.P99, 100*rep.Rate429, 100*rep.ErrorRate)
+	for _, t := range rep.PerTarget {
+		fmt.Fprintf(os.Stderr,
+			"vlpload:   %s: %d requests, p50=%.2fms p99=%.2fms, 429 %.1f%%, errors %.1f%%\n",
+			t.URL, t.Requests, t.LatencyMs.P50, t.LatencyMs.P99, 100*t.Rate429, 100*t.ErrorRate)
+	}
 }
 
 // run executes the full harness against cfg.base and folds the results
@@ -172,13 +201,21 @@ func run(ctx context.Context, cfg harnessConfig, clock loadgen.Clock) (loadgen.R
 		}
 	}
 
+	// urls is the round-robin rotation: the configured fleet targets, or
+	// just the single base URL. do() indexes it by arrival index so the
+	// assignment is part of the deterministic schedule, not runtime state.
+	urls := cfg.targets
+	if len(urls) == 0 {
+		urls = []string{cfg.base}
+	}
+
 	specs, payloads, err := buildWorkload(cfg)
 	if err != nil {
 		return loadgen.Report{}, err
 	}
 
 	if cfg.warmup {
-		if err := warmup(ctx, cfg, specs); err != nil {
+		if err := warmup(ctx, cfg, urls, specs); err != nil {
 			return loadgen.Report{}, err
 		}
 	}
@@ -192,15 +229,20 @@ func run(ctx context.Context, cfg harnessConfig, clock loadgen.Clock) (loadgen.R
 		return loadgen.Report{}, err
 	}
 
-	obfURL := cfg.base + "/obfuscate"
+	obfURLs := make([]string, len(urls))
+	for i, u := range urls {
+		obfURLs[i] = u + "/obfuscate"
+	}
 	do := func(reqCtx context.Context, a loadgen.Arrival) loadgen.Result {
+		inst := a.Index % len(obfURLs)
 		start := clock.Now()
-		status, rung := postObfuscate(reqCtx, cfg.client, obfURL, payloads[a.Target])
+		status, rung := postObfuscate(reqCtx, cfg.client, obfURLs[inst], payloads[a.Target])
 		return loadgen.Result{
-			Target:  a.Target,
-			Status:  status,
-			Rung:    rung,
-			Latency: clock.Now().Sub(start),
+			Target:   a.Target,
+			Instance: inst,
+			Status:   status,
+			Rung:     rung,
+			Latency:  clock.Now().Sub(start),
 		}
 	}
 
@@ -219,8 +261,12 @@ func run(ctx context.Context, cfg harnessConfig, clock loadgen.Clock) (loadgen.R
 		ZipfV:          cfg.zipfV,
 		Seed:           cfg.seed,
 		LocsPerRequest: cfg.locs,
+		Targets:        cfg.targets,
 	}, results, elapsed)
-	rep.Server = fetchServerCounters(ctx, cfg.client, cfg.base)
+	// In a fleet run the counters come from the first target; server-side
+	// counters are per-process, and the leader (started first by
+	// convention) is the one whose solve counters matter.
+	rep.Server = fetchServerCounters(ctx, cfg.client, urls[0])
 	return rep, nil
 }
 
@@ -264,17 +310,23 @@ func buildWorkload(cfg harnessConfig) ([]*serial.SolveSpec, [][]byte, error) {
 
 // warmup pre-solves every digest in the pool through the retrying
 // client, so steady-state measurement starts from a warm cache instead
-// of a cold-solve stampede.
-func warmup(ctx context.Context, cfg harnessConfig, specs []*serial.SolveSpec) error {
+// of a cold-solve stampede. Every target is warmed with every spec: in
+// a fleet the first /solve lands the entry in the shared store (via the
+// leader) and the same spec against the other members warms their
+// caches read-through, so steady state measures serving, not refresh.
+func warmup(ctx context.Context, cfg harnessConfig, urls []string, specs []*serial.SolveSpec) error {
 	rc := &retryhttp.Client{HTTP: cfg.client, MaxAttempts: 8, BaseDelay: 200 * time.Millisecond, MaxDelay: 5 * time.Second}
 	for i, spec := range specs {
-		var solved serial.SolveResponse
-		status, err := rc.PostJSON(ctx, cfg.base+"/solve", spec, &solved)
-		if err != nil {
-			return fmt.Errorf("vlpload: warmup solve %d/%d: %w", i+1, len(specs), err)
-		}
-		if status < 200 || status >= 300 {
-			return fmt.Errorf("vlpload: warmup solve %d/%d: server answered %d past the retry budget", i+1, len(specs), status)
+		for _, base := range urls {
+			var solved serial.SolveResponse
+			status, err := rc.PostJSON(ctx, base+"/solve", spec, &solved)
+			if err != nil {
+				return fmt.Errorf("vlpload: warmup solve %d/%d against %s: %w", i+1, len(specs), base, err)
+			}
+			if status < 200 || status >= 300 {
+				return fmt.Errorf("vlpload: warmup solve %d/%d against %s: server answered %d past the retry budget",
+					i+1, len(specs), base, status)
+			}
 		}
 	}
 	return nil

@@ -10,6 +10,8 @@
 //	          [-solve-deadline 2m] [-no-upgrade] [-seed 1]
 //	          [-xi -0.05] [-relgap 0.02]
 //	          [-store-dir DIR] [-checkpoint-rounds 8] [-no-store]
+//	          [-fleet] [-advertise URL] [-instance NAME]
+//	          [-lease-ttl 10s] [-fleet-poll lease-ttl/3]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Serving is two admission tiers: -solve-pool bounds concurrent cold
@@ -18,6 +20,15 @@
 // obfuscation never queues behind cold solves, and -coalesce-window
 // batches same-digest cold requests into one solve. cmd/vlpload is the
 // open-loop harness that measures the resulting latency split.
+//
+// Fleet mode (-fleet): N instances share one -store-dir. A TTL lease
+// in the store elects a single durable writer; the leader solves and
+// commits (every commit fenced by its lease token), followers serve
+// read-through from the store, proxy misses to the leader's -advertise
+// URL, or degrade to the exponential-fallback rung. Kill the leader
+// and a follower takes over within one -lease-ttl, resuming the dead
+// leader's interrupted solves from their durable checkpoints. See the
+// README's "Fleet quickstart".
 //
 // Endpoints (JSON bodies; see internal/serial for the wire structs):
 //
@@ -37,6 +48,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -67,10 +79,20 @@ func main() {
 	storeDir := flag.String("store-dir", "", "durable snapshot store directory; empty selects vlpserved-store under the OS temp dir")
 	checkpointRounds := flag.Int("checkpoint-rounds", 0, "CG rounds between durable mid-solve checkpoints (0 = default 8, negative = no checkpoints)")
 	noStore := flag.Bool("no-store", false, "run purely in-memory: no snapshots, no checkpoints, no warm recovery")
+	fleet := flag.Bool("fleet", false, "join a shared-store serving fleet: lease-elected single writer, fenced commits (requires the store)")
+	advertise := flag.String("advertise", "", "base URL followers use to proxy solves to this instance while it leads (e.g. http://10.0.0.5:8750)")
+	instance := flag.String("instance", "", "fleet instance name, unique per process (default vlpserved-<pid>)")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "fleet lease duration: a dead leader is replaced within one TTL")
+	fleetPoll := flag.Duration("fleet-poll", 0, "fleet heartbeat/refresh cadence (0 = lease-ttl/3)")
 	drain := flag.Duration("drain", 5*time.Minute, "shutdown drain budget for in-flight solves")
 	cpuprofile := flag.String("cpuprofile", "", "profile CPU from startup until shutdown, written to this file")
 	memprofile := flag.String("memprofile", "", "write a heap/alloc profile at shutdown to this file")
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "solves" {
+			log.Printf("vlpserved: -solves is deprecated, use -solve-pool")
+		}
+	})
 
 	if *cpuprofile != "" {
 		pf, err := os.Create(*cpuprofile)
@@ -93,9 +115,25 @@ func main() {
 		if dir == "" {
 			dir = filepath.Join(os.TempDir(), "vlpserved-store")
 		}
+		open := store.Open
+		if *fleet {
+			// Fleet commits must be fenced by the lease token.
+			open = store.OpenFleet
+		}
 		var err error
-		if st, err = store.Open(dir); err != nil {
+		if st, err = open(dir); err != nil {
 			fatalf("store: %v", err)
+		}
+	} else if *fleet {
+		fatalf("-fleet needs the shared store; drop -no-store")
+	}
+	var fleetCfg *server.FleetConfig
+	if *fleet {
+		fleetCfg = &server.FleetConfig{
+			Instance:  *instance,
+			Advertise: *advertise,
+			TTL:       *leaseTTL,
+			Poll:      *fleetPoll,
 		}
 	}
 
@@ -112,9 +150,14 @@ func main() {
 		CG:               core.CGOptions{Xi: *xi, RelGap: *relgap},
 		Store:            st,
 		CheckpointRounds: *checkpointRounds,
+		Fleet:            fleetCfg,
 	})
 	if st != nil {
-		fmt.Fprintf(os.Stderr, "vlpserved: durable store at %s\n", st.Dir())
+		mode := "solo"
+		if *fleet {
+			mode = "fleet member"
+		}
+		fmt.Fprintf(os.Stderr, "vlpserved: durable store at %s (%s)\n", st.Dir(), mode)
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,

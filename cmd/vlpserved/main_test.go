@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -237,5 +238,152 @@ func TestKillRestartRecovery(t *testing.T) {
 	}
 	if q, ok := res["quality"].(string); ok && q != "" && q != serial.QualityOptimal {
 		t.Fatalf("recovered solve served tier %q, want optimal", q)
+	}
+}
+
+// rawStats fetches GET /stats without dropping non-numeric fields.
+func (s *served) rawStats() map[string]interface{} {
+	s.t.Helper()
+	resp, err := http.Get(s.url("/stats"))
+	if err != nil {
+		s.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		s.t.Fatal(err)
+	}
+	return raw
+}
+
+// leaseState reads the instance's fleet role from /stats.
+func (s *served) leaseState() string {
+	v, _ := s.rawStats()["lease_state"].(string)
+	return v
+}
+
+// startFleetMember launches one vlpserved -fleet process over dir with
+// a short lease so failover tests run in seconds.
+func startFleetMember(t *testing.T, bin, dir, name string) *served {
+	t.Helper()
+	addr := freeAddr(t)
+	return startServed(t, bin, addr,
+		"-store-dir", dir, "-fleet",
+		"-instance", name,
+		"-advertise", "http://"+addr,
+		"-lease-ttl", "1s", "-fleet-poll", "200ms")
+}
+
+// TestLeaderFailover is the kill-the-leader suite: three real vlpserved
+// processes share one store directory; the leader is SIGKILLed in the
+// middle of a checkpointing solve; a follower must win the election
+// within roughly one lease TTL, re-enqueue the interrupted solve from
+// its durable checkpoint, and finish it — while the remaining follower
+// keeps serving by proxying cold specs to the new leader.
+func TestLeaderFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills real server processes")
+	}
+	bin := buildServed(t)
+	dir := t.TempDir()
+
+	s1 := startFleetMember(t, bin, dir, "m1")
+	s2 := startFleetMember(t, bin, dir, "m2")
+	s3 := startFleetMember(t, bin, dir, "m3")
+
+	if got := s1.leaseState(); got != "leader" {
+		t.Fatalf("first member lease_state = %q, want leader", got)
+	}
+	for _, f := range []*served{s2, s3} {
+		if got := f.leaseState(); got != "follower" {
+			t.Fatalf("late member lease_state = %q, want follower", got)
+		}
+	}
+
+	// Kill the leader mid-solve, as soon as a checkpoint is durable.
+	slow := slowSpec(t)
+	go func() { _, _ = s1.solveSpec(slow, 5*time.Minute) }()
+	s1.waitStat("checkpoint_writes", 1, time.Minute)
+	s1.kill()
+
+	// A follower is elected within ~TTL and its promotion re-enqueues
+	// the dead leader's interrupted solve.
+	var leader, follower *served
+	deadline := time.Now().Add(15 * time.Second)
+	for leader == nil && time.Now().Before(deadline) {
+		for _, c := range []*served{s2, s3} {
+			if c.leaseState() == "leader" {
+				leader = c
+			} else {
+				follower = c
+			}
+		}
+		if leader == nil {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if leader == nil || follower == nil {
+		t.Fatalf("no follower took over: m2=%q m3=%q", s2.leaseState(), s3.leaseState())
+	}
+	if fence := leader.stats()["fence_token"]; fence < 2 {
+		t.Fatalf("new leader fence_token = %v, want ≥ 2 (takeover bumps)", fence)
+	}
+	leader.waitStat("recovered_solves", 1, 10*time.Second)
+	// The re-enqueued solve finishes in the background and commits under
+	// the new fence.
+	leader.waitStat("store_writes", 1, 2*time.Minute)
+	res, err := leader.solveSpec(slow, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q, ok := res["quality"].(string); ok && q != "" && q != serial.QualityOptimal {
+		t.Fatalf("recovered solve served tier %q, want optimal", q)
+	}
+
+	// The remaining follower never solves: a cold spec is proxied to the
+	// new leader and read back through the store.
+	if _, err := follower.solveSpec(quickSpec(t), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	fst := follower.stats()
+	if fst["solves"] != 0 {
+		t.Fatalf("follower ran %v solves, want 0", fst["solves"])
+	}
+	if fst["proxied_solves"] < 1 {
+		t.Fatalf("proxied_solves = %v, want ≥ 1", fst["proxied_solves"])
+	}
+	if fst["store_writes"] != 0 {
+		t.Fatalf("follower committed %v snapshots, want 0 (single writer)", fst["store_writes"])
+	}
+}
+
+// TestDeprecatedSolvesFlagWarns: the -solves alias still works but
+// routes a deprecation warning through the standard log package.
+func TestDeprecatedSolvesFlagWarns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real server process")
+	}
+	bin := buildServed(t)
+	addr := freeAddr(t)
+	cmd := exec.Command(bin, "-addr", addr, "-no-store", "-solves", "3")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if resp, err := http.Get("http://" + addr + "/healthz"); err == nil {
+			resp.Body.Close()
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Join cmd.Wait (and with it exec's stderr copier) before reading the
+	// buffer; the warning is logged during startup, so it is complete.
+	_ = cmd.Process.Signal(syscall.SIGKILL)
+	_ = cmd.Wait()
+	if !strings.Contains(stderr.String(), "-solves is deprecated") {
+		t.Fatalf("no deprecation warning on stderr, got:\n%s", stderr.String())
 	}
 }

@@ -14,10 +14,14 @@
 //     lp, core and store).
 //
 //  3. In the durable-I/O packages, every call that commits bytes or
-//     metadata to disk — (*os.File).Write/WriteString/WriteAt/Sync and
-//     os.Rename — must be preceded, in the same function, by a
-//     faultinject.At visit, so the chaos suite can kill the protocol
-//     immediately before the real operation.
+//     metadata to disk or reads protocol state back —
+//     (*os.File).Write/WriteString/WriteAt/Sync plus the os package's
+//     Rename, ReadFile, WriteFile and ReadDir — must be preceded, in
+//     the same function, by a faultinject.At visit, so the chaos suite
+//     can kill the protocol immediately before the real operation.
+//     Reads count because the lease and refresh protocols make safety
+//     decisions from what they read: an uninjectable read path is an
+//     untestable failover path.
 package faultpoint
 
 import (
@@ -59,6 +63,21 @@ var fileWriteMethods = map[string]bool{
 	"Write": true, "WriteString": true, "WriteAt": true, "Sync": true,
 }
 
+// osPkgFuncs are the os package-level calls the durability, lease and
+// refresh protocols hang decisions on. Deliberately not here: os.Open,
+// os.Stat, os.Remove and friends, whose failures the protocols treat
+// as advisory (debris sweeping, existence probes) rather than as
+// protocol state.
+var osPkgFuncs = map[string]bool{
+	"Rename": true, "ReadFile": true, "WriteFile": true, "ReadDir": true,
+}
+
+// coveredOSFunc reports whether fn is one of the os package calls that
+// must sit under a fault point.
+func coveredOSFunc(fn *types.Func) bool {
+	return osPkgFuncs[fn.Name()] && analysis.IsPkgFunc(fn, "os", fn.Name())
+}
+
 func run(pass *analysis.Pass) error {
 	if declsByName == nil {
 		declsByName = make(map[string][]siteDecl)
@@ -87,9 +106,9 @@ func run(pass *analysis.Pass) error {
 			if encl != nil {
 				atPoints[encl] = append(atPoints[encl], call.Pos())
 			}
-		case analysis.IsPkgFunc(fn, "os", "Rename"):
+		case coveredOSFunc(fn):
 			if encl != nil {
-				ioCalls[encl] = append(ioCalls[encl], ioCall{call.Pos(), "os.Rename"})
+				ioCalls[encl] = append(ioCalls[encl], ioCall{call.Pos(), "os." + fn.Name()})
 			}
 		case fileWriteMethods[fn.Name()] && isOSFileMethod(fn):
 			if encl != nil {

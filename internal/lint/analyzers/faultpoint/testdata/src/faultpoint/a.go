@@ -30,6 +30,18 @@ func renameNoPoint(from, to string) error {
 	return os.Rename(from, to) // want `durable I/O call os.Rename has no preceding faultinject.At point`
 }
 
+func readNoPoint(path string) ([]byte, error) {
+	return os.ReadFile(path) // want `durable I/O call os.ReadFile has no preceding faultinject.At point`
+}
+
+func writeFileNoPoint(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want `durable I/O call os.WriteFile has no preceding faultinject.At point`
+}
+
+func readDirNoPoint(dir string) ([]os.DirEntry, error) {
+	return os.ReadDir(dir) // want `durable I/O call os.ReadDir has no preceding faultinject.At point`
+}
+
 func pointAfter(f *os.File) error {
 	err := f.Sync() // want `durable I/O call \(\*os.File\)\.Sync has no preceding faultinject.At point`
 	_ = faultinject.At(siteLate)

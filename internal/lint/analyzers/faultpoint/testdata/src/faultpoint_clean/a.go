@@ -11,6 +11,9 @@ const (
 	siteWrite  = "fpclean/write"
 	siteSync   = "fpclean/fsync"
 	siteRename = "fpclean/rename"
+	siteRecord = "fpclean/record"
+	siteLoad   = "fpclean/load"
+	siteScan   = "fpclean/scan"
 )
 
 // commit follows the write → fsync → rename protocol with a kill point
@@ -32,4 +35,29 @@ func commit(f *os.File, b []byte, from, to string) error {
 		return err
 	}
 	return os.Rename(from, to)
+}
+
+// writeRecord covers the os package-level write shorthand.
+func writeRecord(path string, b []byte) error {
+	if err := faultinject.At(siteRecord); err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// loadRecord covers the protocol read path: a lease or snapshot read
+// must be killable, since the caller decides ownership from it.
+func loadRecord(path string) ([]byte, error) {
+	if err := faultinject.At(siteLoad); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}
+
+// scan covers the directory walk feeding the refresh protocol.
+func scan(dir string) ([]os.DirEntry, error) {
+	if err := faultinject.At(siteScan); err != nil {
+		return nil, err
+	}
+	return os.ReadDir(dir)
 }

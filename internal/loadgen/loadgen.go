@@ -96,10 +96,13 @@ func NewZipf(seed int64, s, v float64, n int) (*Zipf, error) {
 func (z *Zipf) Pick() int { return int(z.z.Uint64()) }
 
 // Arrival is one scheduled request: fire at offset At from run start
-// against target index Target.
+// against target index Target. Index is the arrival's position in the
+// plan — multi-instance harnesses use it to spread requests round-robin
+// over base URLs without adding nondeterministic state to the hot loop.
 type Arrival struct {
 	At     time.Duration
 	Target int
+	Index  int
 }
 
 // Schedule builds the deterministic open-loop plan: floor(rate·duration)
@@ -120,7 +123,7 @@ func Schedule(rate float64, duration time.Duration, pick func() int) ([]Arrival,
 	interval := time.Duration(float64(time.Second) / rate)
 	plan := make([]Arrival, n)
 	for i := range plan {
-		plan[i] = Arrival{At: time.Duration(i) * interval, Target: pick()}
+		plan[i] = Arrival{At: time.Duration(i) * interval, Target: pick(), Index: i}
 	}
 	return plan, nil
 }
@@ -130,6 +133,10 @@ func Schedule(rate float64, duration time.Duration, pick func() int) ([]Arrival,
 type Result struct {
 	// Target is the spec-pool index the request was aimed at.
 	Target int
+	// Instance is the index into RunConfig.Targets of the base URL that
+	// answered (0 in single-target runs), so multi-instance reports can
+	// split latency and shed rate per fleet member.
+	Instance int
 	// Status is the HTTP status (0 on a transport error).
 	Status int
 	// Rung is the serving rung observed on a 2xx response: RungCached

@@ -33,6 +33,10 @@ type RunConfig struct {
 	Seed int64 `json:"seed"`
 	// LocsPerRequest is the obfuscate batch size per request.
 	LocsPerRequest int `json:"locs_per_request"`
+	// Targets lists the base URLs of a multi-instance (fleet) run in
+	// round-robin order; empty for a single-target run. When set, the
+	// report carries a matching per_target breakdown.
+	Targets []string `json:"targets,omitempty"`
 }
 
 // Quantiles holds nearest-rank latency quantiles in milliseconds.
@@ -50,6 +54,18 @@ type RungMix struct {
 	Optimal   int `json:"optimal"`
 	Incumbent int `json:"incumbent"`
 	Fallback  int `json:"fallback"`
+}
+
+// TargetStats is one fleet member's slice of a multi-target run:
+// latency quantiles and shed/error rates for the requests round-robined
+// to that base URL. A follower proxying misses to the leader shows up
+// here as a higher p99 on its slice, not as an error.
+type TargetStats struct {
+	URL       string    `json:"url"`
+	Requests  int       `json:"requests"`
+	LatencyMs Quantiles `json:"latency_ms"`
+	Rate429   float64   `json:"rate_429"`
+	ErrorRate float64   `json:"error_rate"`
 }
 
 // ServerCounters is the slice of the server's /stats snapshot worth
@@ -93,6 +109,11 @@ type Report struct {
 	ErrorRate float64 `json:"error_rate"`
 
 	RungMix RungMix `json:"rung_mix"`
+
+	// PerTarget breaks latency and shed rates down by fleet member, one
+	// entry per Config.Targets URL in the same order; absent for
+	// single-target runs.
+	PerTarget []TargetStats `json:"per_target,omitempty"`
 
 	// Server mirrors the target's /stats counters at run end, when the
 	// harness could fetch them (nil against a server it cannot reach).
@@ -140,7 +161,46 @@ func BuildReport(cfg RunConfig, results []Result, elapsed time.Duration) Report 
 	}
 	rep.LatencyMs = quantiles(all)
 	rep.CachedLatencyMs = quantiles(cached)
+	rep.PerTarget = perTarget(cfg.Targets, results)
 	return rep
+}
+
+// perTarget folds results into one TargetStats per configured base URL;
+// nil for single-target runs (no Targets configured). Results whose
+// Instance falls outside the target list are ignored here — Validate
+// catches the resulting count mismatch.
+func perTarget(targets []string, results []Result) []TargetStats {
+	if len(targets) == 0 {
+		return nil
+	}
+	lats := make([][]time.Duration, len(targets))
+	per := make([]TargetStats, len(targets))
+	for i, url := range targets {
+		per[i].URL = url
+	}
+	for _, r := range results {
+		if r.Instance < 0 || r.Instance >= len(targets) {
+			continue
+		}
+		t := &per[r.Instance]
+		t.Requests++
+		switch {
+		case r.Status == 429:
+			t.Rate429++ // running count; normalised below
+		case r.Status < 200 || r.Status >= 300:
+			t.ErrorRate++
+		default:
+			lats[r.Instance] = append(lats[r.Instance], r.Latency)
+		}
+	}
+	for i := range per {
+		if per[i].Requests > 0 {
+			per[i].Rate429 /= float64(per[i].Requests)
+			per[i].ErrorRate /= float64(per[i].Requests)
+		}
+		per[i].LatencyMs = quantiles(lats[i])
+	}
+	return per
 }
 
 // quantiles computes nearest-rank quantiles in milliseconds; the zero
@@ -221,6 +281,37 @@ func (r *Report) Validate() error {
 	if served+shed != r.Requests {
 		return fmt.Errorf("loadgen: rung mix (%d served) plus shed (%d) does not reconcile with %d requests",
 			served, shed, r.Requests)
+	}
+	if len(r.PerTarget) != len(r.Config.Targets) {
+		return fmt.Errorf("loadgen: report has %d per_target entries for %d configured targets",
+			len(r.PerTarget), len(r.Config.Targets))
+	}
+	total := 0
+	for i, t := range r.PerTarget {
+		if t.URL == "" || t.URL != r.Config.Targets[i] {
+			return fmt.Errorf("loadgen: per_target[%d] url %q does not match configured target %q",
+				i, t.URL, r.Config.Targets[i])
+		}
+		if t.Requests < 0 {
+			return fmt.Errorf("loadgen: per_target[%d] has negative request count %d", i, t.Requests)
+		}
+		for _, rate := range []struct {
+			name string
+			v    float64
+		}{{"rate_429", t.Rate429}, {"error_rate", t.ErrorRate}} {
+			if rate.v < 0 || rate.v > 1 || math.IsNaN(rate.v) {
+				return fmt.Errorf("loadgen: per_target[%d] %s %v outside [0, 1]", i, rate.name, rate.v)
+			}
+		}
+		q := t.LatencyMs
+		if q.P50 < 0 || q.P50 > q.P99 || q.P99 > q.P999 || q.P999 > q.Max {
+			return fmt.Errorf("loadgen: per_target[%d] quantiles disordered: p50=%v p99=%v p999=%v max=%v",
+				i, q.P50, q.P99, q.P999, q.Max)
+		}
+		total += t.Requests
+	}
+	if len(r.PerTarget) > 0 && total != r.Requests {
+		return fmt.Errorf("loadgen: per_target requests sum to %d, report has %d", total, r.Requests)
 	}
 	return nil
 }

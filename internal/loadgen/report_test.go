@@ -99,6 +99,113 @@ func TestValidateJSONRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBuildReportPerTarget(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	cfg := testConfig()
+	cfg.Targets = []string{"http://a:8750", "http://b:8751"}
+	results := []Result{
+		{Instance: 0, Status: 200, Rung: RungCached, Latency: ms(1)},
+		{Instance: 1, Status: 200, Rung: RungCached, Latency: ms(40)},
+		{Instance: 0, Status: 200, Rung: "optimal", Latency: ms(5)},
+		{Instance: 1, Status: 429},
+		{Instance: 0, Status: 200, Rung: RungCached, Latency: ms(2)},
+		{Instance: 1, Status: 0}, // transport error
+	}
+	rep := stamp(BuildReport(cfg, results, time.Second))
+
+	if len(rep.PerTarget) != 2 {
+		t.Fatalf("per_target has %d entries, want 2", len(rep.PerTarget))
+	}
+	a, b := rep.PerTarget[0], rep.PerTarget[1]
+	if a.URL != cfg.Targets[0] || b.URL != cfg.Targets[1] {
+		t.Fatalf("per_target urls = %q, %q; want config order %v", a.URL, b.URL, cfg.Targets)
+	}
+	if a.Requests != 3 || b.Requests != 3 {
+		t.Fatalf("per_target requests = %d, %d; want 3, 3", a.Requests, b.Requests)
+	}
+	if a.Rate429 != 0 || a.ErrorRate != 0 {
+		t.Fatalf("target a rates = %v / %v, want clean", a.Rate429, a.ErrorRate)
+	}
+	if want := 1.0 / 3; b.Rate429 != want || b.ErrorRate != want {
+		t.Fatalf("target b rates = %v / %v, want %v each", b.Rate429, b.ErrorRate, want)
+	}
+	if a.LatencyMs.Max != 5 || b.LatencyMs.Max != 40 {
+		t.Fatalf("per_target max latency = %v / %v ms, want 5 / 40", a.LatencyMs.Max, b.LatencyMs.Max)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("per-target report failed its own schema check: %v", err)
+	}
+
+	// Single-target runs must not grow a per_target section.
+	if solo := BuildReport(testConfig(), results, time.Second); solo.PerTarget != nil {
+		t.Fatalf("single-target report grew per_target: %+v", solo.PerTarget)
+	}
+}
+
+func TestValidateRejectsPerTargetMismatch(t *testing.T) {
+	cfg := testConfig()
+	cfg.Targets = []string{"http://a:8750", "http://b:8751"}
+	valid := stamp(BuildReport(cfg, []Result{
+		{Instance: 0, Status: 200, Rung: RungCached, Latency: time.Millisecond},
+		{Instance: 1, Status: 200, Rung: RungCached, Latency: time.Millisecond},
+	}, time.Second))
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("baseline per-target report invalid: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(r *Report)
+		wantErr string
+	}{
+		{
+			name:    "missing breakdown",
+			mutate:  func(r *Report) { r.PerTarget = nil },
+			wantErr: "0 per_target entries for 2",
+		},
+		{
+			name:    "breakdown without targets",
+			mutate:  func(r *Report) { r.Config.Targets = nil },
+			wantErr: "2 per_target entries for 0",
+		},
+		{
+			name:    "url out of order",
+			mutate:  func(r *Report) { r.PerTarget[0].URL, r.PerTarget[1].URL = r.PerTarget[1].URL, r.PerTarget[0].URL },
+			wantErr: "does not match configured target",
+		},
+		{
+			name:    "counts do not sum",
+			mutate:  func(r *Report) { r.PerTarget[0].Requests++ },
+			wantErr: "per_target requests sum",
+		},
+		{
+			name:    "rate out of range",
+			mutate:  func(r *Report) { r.PerTarget[1].Rate429 = -0.1 },
+			wantErr: "per_target[1] rate_429",
+		},
+		{
+			name:    "disordered quantiles",
+			mutate:  func(r *Report) { r.PerTarget[0].LatencyMs.P50 = r.PerTarget[0].LatencyMs.Max + 1 },
+			wantErr: "per_target[0] quantiles",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := valid
+			rep.PerTarget = append([]TargetStats(nil), valid.PerTarget...)
+			rep.Config.Targets = append([]string(nil), valid.Config.Targets...)
+			tc.mutate(&rep)
+			err := rep.Validate()
+			if err == nil {
+				t.Fatalf("schema check accepted a broken per-target report (%s)", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
 func TestValidateJSONRejectsMalformed(t *testing.T) {
 	valid := stamp(BuildReport(testConfig(), []Result{
 		{Status: 200, Rung: RungCached, Latency: time.Millisecond},

@@ -67,6 +67,24 @@ func (c *Client) jitter(step time.Duration) time.Duration {
 	return time.Duration(c.rng.Int63n(int64(step))) + 1
 }
 
+// backoff computes the sleep before the next attempt: a full-jitter
+// draw over the exponential step, added on top of the server's
+// Retry-After hint when the response carries one. The hint is a floor,
+// never the whole wait — if every rejected client slept exactly
+// Retry-After, the burst that tripped the server's admission gate
+// would re-arrive in lockstep and trip it again; jitter on top spreads
+// the retry wave while still respecting the server's horizon.
+func (c *Client) backoff(resp *http.Response, step time.Duration) time.Duration {
+	wait := c.jitter(step)
+	if resp == nil {
+		return wait
+	}
+	if d, ok := retryAfter(resp); ok {
+		wait += d
+	}
+	return wait
+}
+
 // retryable reports whether a response status is worth another attempt:
 // explicit backpressure and drain signals, plus any other 5xx.
 func retryable(status int) bool {
@@ -125,15 +143,8 @@ func (c *Client) Do(req *http.Request) (*http.Response, error) {
 				}
 				req.Body = body
 			}
-			wait := c.jitter(step)
+			wait := c.backoff(resp, step)
 			if resp != nil {
-				if d, ok := retryAfter(resp); ok {
-					// The server knows its own drain/backpressure horizon;
-					// jitter only on top of very short hints.
-					if d > wait {
-						wait = d
-					}
-				}
 				resp.Body.Close()
 			}
 			if step *= 2; step > maxDelay {

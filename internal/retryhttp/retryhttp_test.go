@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -202,5 +203,77 @@ func TestPostJSONSurfacesFinalStatus(t *testing.T) {
 	}
 	if status != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429 surfaced after exhausted retries", status)
+	}
+}
+
+// TestBackoffJittersAtopRetryAfter: the server's hint is a floor under
+// the jittered backoff, not a replacement for it. A Retry-After that
+// merely dominated the jitter would put every rejected client back on
+// the wire at the same instant — the wait must be strictly inside
+// (hint, hint+step], and must actually vary between draws.
+func TestBackoffJittersAtopRetryAfter(t *testing.T) {
+	c := &Client{}
+	c.rng = rand.New(rand.NewSource(7))
+	resp := &http.Response{Header: http.Header{}}
+	resp.Header.Set("Retry-After", "2")
+	const step = 100 * time.Millisecond
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 64; i++ {
+		w := c.backoff(resp, step)
+		if w <= 2*time.Second || w > 2*time.Second+step {
+			t.Fatalf("wait %v outside (2s, 2s+%v]", w, step)
+		}
+		seen[w] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("every wait identical: no jitter atop Retry-After, clients re-arrive in lockstep")
+	}
+}
+
+// TestBackoffWithoutHint: no response (transport error) or no header
+// falls back to pure full jitter over the step.
+func TestBackoffWithoutHint(t *testing.T) {
+	c := &Client{}
+	c.rng = rand.New(rand.NewSource(11))
+	const step = 50 * time.Millisecond
+	for i := 0; i < 32; i++ {
+		if w := c.backoff(nil, step); w <= 0 || w > step {
+			t.Fatalf("nil-response wait %v outside (0, %v]", w, step)
+		}
+		bare := &http.Response{Header: http.Header{}}
+		if w := c.backoff(bare, step); w <= 0 || w > step {
+			t.Fatalf("no-header wait %v outside (0, %v]", w, step)
+		}
+	}
+}
+
+// TestRetryAfterParsing covers both header forms and the garbage cases.
+func TestRetryAfterParsing(t *testing.T) {
+	mk := func(v string) *http.Response {
+		r := &http.Response{Header: http.Header{}}
+		if v != "" {
+			r.Header.Set("Retry-After", v)
+		}
+		return r
+	}
+	if d, ok := retryAfter(mk("3")); !ok || d != 3*time.Second {
+		t.Fatalf("delta-seconds: (%v, %v), want (3s, true)", d, ok)
+	}
+	future := time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat)
+	if d, ok := retryAfter(mk(future)); !ok || d <= 25*time.Second || d > 30*time.Second {
+		t.Fatalf("http-date: (%v, %v), want ~30s", d, ok)
+	}
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if d, ok := retryAfter(mk(past)); !ok || d != 0 {
+		t.Fatalf("past http-date: (%v, %v), want (0, true)", d, ok)
+	}
+	if _, ok := retryAfter(mk("")); ok {
+		t.Fatal("absent header parsed as a hint")
+	}
+	if _, ok := retryAfter(mk("soon")); ok {
+		t.Fatal("garbage header parsed as a hint")
+	}
+	if _, ok := retryAfter(mk("-5")); ok {
+		t.Fatal("negative delta-seconds parsed as a hint")
 	}
 }

@@ -29,9 +29,12 @@ import (
 // patterns, mirroring the canonical encoding SolveSpec.Digest hashes.
 
 // Snapshot format magics; the trailing digit is the format revision.
+// Revision 2 added the fencing token stamped by the shared-store lease
+// protocol; revision-1 files are rejected (and therefore quarantined by
+// the store), costing at most a cold re-solve.
 const (
-	entryMagic      = "VLPENT1\x00"
-	checkpointMagic = "VLPCKP1\x00"
+	entryMagic      = "VLPENT2\x00"
+	checkpointMagic = "VLPCKP2\x00"
 )
 
 // maxStoredColumns bounds the CG column pool a snapshot may carry;
@@ -65,6 +68,11 @@ type StoredEntry struct {
 	Bound float64
 	K     int
 	Z     []float64 // K×K row-major, post-EnforceGeoI
+	// Fence is the lease fencing token the writer held when it committed
+	// this snapshot (0 for a single-process store with no lease). The
+	// store layer stamps it; forensics on a quarantined snapshot can then
+	// attribute the write to a leadership term.
+	Fence uint64
 	// State is the degraded entry's resumable pool (nil on the optimal
 	// tier), so an upgrade re-solve still starts warm after a restart.
 	State *StoredState
@@ -77,7 +85,9 @@ type StoredEntry struct {
 type StoredCheckpoint struct {
 	Spec   SolveSpec
 	Rounds int
-	State  StoredState
+	// Fence mirrors StoredEntry.Fence for mid-solve checkpoints.
+	Fence uint64
+	State StoredState
 }
 
 // Validate applies the full decode-side checks; Decode* call it, and
@@ -175,6 +185,7 @@ func EncodeStoredEntry(e *StoredEntry) ([]byte, error) {
 	w := newSnapWriter(entryMagic)
 	w.spec(&e.Spec)
 	w.u64(uint64(tierCode(e.Tier)))
+	w.u64(e.Fence)
 	w.f64(e.ETDD)
 	w.f64(e.Bound)
 	w.u64(uint64(e.K))
@@ -205,6 +216,9 @@ func DecodeStoredEntry(data []byte) (*StoredEntry, error) {
 		return nil, err
 	}
 	if e.Tier, err = tierName(tier); err != nil {
+		return nil, err
+	}
+	if e.Fence, err = r.u64(); err != nil {
 		return nil, err
 	}
 	if e.ETDD, err = r.f64(); err != nil {
@@ -259,6 +273,7 @@ func EncodeStoredCheckpoint(c *StoredCheckpoint) ([]byte, error) {
 	w := newSnapWriter(checkpointMagic)
 	w.spec(&c.Spec)
 	w.u64(uint64(c.Rounds))
+	w.u64(c.Fence)
 	w.state(&c.State)
 	return w.seal(), nil
 }
@@ -282,6 +297,9 @@ func DecodeStoredCheckpoint(data []byte) (*StoredCheckpoint, error) {
 		return nil, corruptf("checkpoint rounds %d", rounds)
 	}
 	c.Rounds = int(rounds)
+	if c.Fence, err = r.u64(); err != nil {
+		return nil, err
+	}
 	if err := r.state(&c.State); err != nil {
 		return nil, err
 	}

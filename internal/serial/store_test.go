@@ -38,6 +38,7 @@ func storedTestEntry(tb testing.TB, k int) *StoredEntry {
 		Bound: 0.25,
 		K:     k,
 		Z:     z,
+		Fence: 3,
 		State: &StoredState{K: k, Cols: cols},
 	}
 }
@@ -57,7 +58,7 @@ func TestStoredEntryRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("withState=%v: %v", withState, err)
 		}
-		if got.Tier != e.Tier || got.ETDD != e.ETDD || got.Bound != e.Bound || got.K != e.K {
+		if got.Tier != e.Tier || got.ETDD != e.ETDD || got.Bound != e.Bound || got.K != e.K || got.Fence != e.Fence {
 			t.Fatalf("metadata changed: %+v vs %+v", got, e)
 		}
 		if got.Spec.Digest() != e.Spec.Digest() {
@@ -88,7 +89,7 @@ func TestStoredEntryRoundTrip(t *testing.T) {
 
 func TestStoredCheckpointRoundTrip(t *testing.T) {
 	e := storedTestEntry(t, 3)
-	c := &StoredCheckpoint{Spec: e.Spec, Rounds: 7, State: *e.State}
+	c := &StoredCheckpoint{Spec: e.Spec, Rounds: 7, Fence: 9, State: *e.State}
 	data, err := EncodeStoredCheckpoint(c)
 	if err != nil {
 		t.Fatal(err)
@@ -97,7 +98,7 @@ func TestStoredCheckpointRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Rounds != 7 || got.Spec.Digest() != c.Spec.Digest() || len(got.State.Cols) != len(c.State.Cols) {
+	if got.Rounds != 7 || got.Spec.Digest() != c.Spec.Digest() || len(got.State.Cols) != len(c.State.Cols) || got.Fence != 9 {
 		t.Fatalf("checkpoint changed across round trip: %+v", got)
 	}
 	data2, err := EncodeStoredCheckpoint(got)

@@ -104,6 +104,10 @@ func (s *Server) writeCheckpoint(spec *serial.SolveSpec, rounds int, st *core.CG
 // passes — a snapshot that fails any of it costs a re-solve, never a
 // privacy-violating mechanism. A decode-valid snapshot whose semantics
 // are off is left in place: the re-solve's persist overwrites it.
+//
+// A nil spec means "whatever the snapshot was solved for": the fleet
+// refresh loop loads by digest alone, and the snapshot's embedded spec
+// (already verified to hash to key by LoadEntry) is authoritative.
 func (s *Server) entryFromStore(key string, spec *serial.SolveSpec) *entry {
 	if s.store == nil {
 		return nil
@@ -115,6 +119,9 @@ func (s *Server) entryFromStore(key string, spec *serial.SolveSpec) *entry {
 		}
 		s.stats.storeLoadFailed(errors.Is(err, store.ErrCorrupt))
 		return nil
+	}
+	if spec == nil {
+		spec = &se.Spec
 	}
 	pr, err := s.buildProblem(spec)
 	if err != nil {

@@ -123,6 +123,12 @@ type Config struct {
 	// default (8), negative disables checkpointing while keeping entry
 	// persistence.
 	CheckpointRounds int
+
+	// Fleet, when non-nil, runs this server as a member of a
+	// shared-store serving fleet (see fleet.go): Store is required and
+	// must be opened with store.OpenFleet so commits are fenced by the
+	// lease protocol. Nil keeps the server solo.
+	Fleet *FleetConfig
 }
 
 // defaultCheckpointRounds is the checkpoint cadence when a store is
@@ -156,6 +162,9 @@ func (c Config) withDefaults() Config {
 		// (iteration caps, workers, observers) are kept.
 		c.CG.Xi = -0.05
 		c.CG.RelGap = 0.02
+	}
+	if c.Fleet != nil {
+		c.Fleet = c.Fleet.withDefaults()
 	}
 	return c
 }
@@ -252,6 +261,13 @@ type Server struct {
 	store  *store.Store
 	resume sync.Map
 
+	// Fleet state (see fleet.go): role is one of leaseSolo/Follower/
+	// Leader, driven by the lease loop; fleetStop ends that loop at
+	// shutdown (closed exactly once via fleetOnce).
+	role      atomic.Int32
+	fleetStop chan struct{}
+	fleetOnce sync.Once
+
 	// solveFn builds the entry for a validated spec; tests substitute a
 	// stub to count and pace solves deterministically.
 	solveFn func(ctx context.Context, spec *serial.SolveSpec) (*entry, error)
@@ -272,9 +288,13 @@ func New(ctx context.Context, cfg Config) *Server {
 		stats:     st,
 	}
 	s.ctx, s.cancel = context.WithCancel(ctx)
+	s.fleetStop = make(chan struct{})
 	s.solveFn = s.solve
 	s.store = cfg.Store
-	if s.store != nil {
+	switch {
+	case s.store != nil && cfg.Fleet != nil:
+		s.startFleet()
+	case s.store != nil:
 		s.recoverFromStore()
 	}
 	return s
@@ -327,6 +347,11 @@ func (s *Server) mechanismFor(ctx context.Context, spec *serial.SolveSpec) (*ent
 				s.scheduleUpgrade(key, spec)
 			}
 			return warm, nil
+		}
+		// Followers never cold-solve: proxy to the leaseholder or serve
+		// the fallback rung (fleet.go).
+		if s.isFollower() {
+			return s.followerEntry(solveCtx, key, spec)
 		}
 		select {
 		case s.slots <- struct{}{}:
@@ -514,7 +539,9 @@ func isCancellation(err error) bool {
 // server's root context only — no per-solve deadline and no waiting
 // client to abandon it — so its sole interruption is shutdown.
 func (s *Server) scheduleUpgrade(key string, spec *serial.SolveSpec) {
-	if s.cfg.DisableUpgrade || s.closed.Load() {
+	// Followers skip upgrades entirely: they could not commit the result
+	// (stale fence) and the leader re-solves degraded entries itself.
+	if s.cfg.DisableUpgrade || s.closed.Load() || s.isFollower() {
 		return
 	}
 	if _, loaded := s.upgrading.LoadOrStore(key, struct{}{}); loaded {
@@ -539,8 +566,13 @@ func (s *Server) scheduleUpgrade(key string, spec *serial.SolveSpec) {
 
 // BeginShutdown marks the server as draining: new work (and /healthz,
 // so load balancers stop routing here) answers 503 while in-flight
-// solves continue. Call it before draining the HTTP listener.
-func (s *Server) BeginShutdown() { s.closed.Store(true) }
+// solves continue. The fleet lease loop is told to stop — it releases
+// the lease on exit so a peer is elected promptly. Call it before
+// draining the HTTP listener.
+func (s *Server) BeginShutdown() {
+	s.closed.Store(true)
+	s.fleetOnce.Do(func() { close(s.fleetStop) })
+}
 
 // Draining reports whether shutdown has begun.
 func (s *Server) Draining() bool { return s.closed.Load() }
@@ -570,4 +602,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // Stats snapshots the service counters and cached mechanisms.
-func (s *Server) Stats() StatsSnapshot { return s.stats.snapshot(s.cache) }
+func (s *Server) Stats() StatsSnapshot {
+	var fence uint64
+	if s.store != nil {
+		fence = s.store.Fence()
+	}
+	return s.stats.snapshot(s.cache, s.leaseState(), fence)
+}

@@ -40,6 +40,14 @@ type stats struct {
 	nQuarantined atomic.Uint64 // corrupt snapshots moved aside, scan + load paths
 	nRecovered   atomic.Uint64 // interrupted solves re-enqueued from checkpoints
 	ckptWrites   atomic.Uint64 // mid-solve checkpoints committed to disk
+
+	// Fleet counters (fleet.go). lease_state and fence_token in /stats
+	// are not mirrored here: the server role flag and the store's fence
+	// are their single sources of truth, passed into snapshot.
+	leaseRenews  atomic.Uint64 // successful lease heartbeat renewals
+	leaseLosses  atomic.Uint64 // demotions: a renew found the lease gone
+	nProxied     atomic.Uint64 // follower misses answered by proxying to the leader
+	refreshLoads atomic.Uint64 // entries the refresh loop pulled from the shared store
 }
 
 func (s *stats) hit()             { s.hits.Add(1) }
@@ -54,8 +62,21 @@ func (s *stats) storeWrote()      { s.storeWrites.Add(1) }
 func (s *stats) recovered()       { s.nRecovered.Add(1) }
 func (s *stats) checkpointWrote() { s.ckptWrites.Add(1) }
 
+func (s *stats) leaseRenewed() { s.leaseRenews.Add(1) }
+func (s *stats) leaseLost()    { s.leaseLosses.Add(1) }
+
 func (s *stats) storeLoaded(evicted int) {
 	s.storeLoads.Add(1)
+	s.evicted.Add(uint64(evicted))
+}
+
+func (s *stats) proxied(evicted int) {
+	s.nProxied.Add(1)
+	s.evicted.Add(uint64(evicted))
+}
+
+func (s *stats) refreshLoaded(evicted int) {
+	s.refreshLoads.Add(1)
 	s.evicted.Add(uint64(evicted))
 }
 
@@ -140,6 +161,18 @@ type StatsSnapshot struct {
 	CheckpointWrites   uint64  `json:"checkpoint_writes"`
 	AvgSolveMs         float64 `json:"avg_solve_ms"`
 	MaxSolveMs         float64 `json:"max_solve_ms"`
+	// Fleet membership. LeaseState is solo/leader/follower; FenceToken
+	// is the lease fencing token stamped into this process's commits (0
+	// while not leading); LeaseRenewals and LeaseLosses count heartbeat
+	// outcomes; ProxiedSolves counts follower misses answered by
+	// proxying the solve to the leader; RefreshLoads counts entries the
+	// follower refresh loop pulled from the shared store.
+	LeaseState    string `json:"lease_state"`
+	FenceToken    uint64 `json:"fence_token"`
+	LeaseRenewals uint64 `json:"lease_renewals"`
+	LeaseLosses   uint64 `json:"lease_losses"`
+	ProxiedSolves uint64 `json:"proxied_solves"`
+	RefreshLoads  uint64 `json:"refresh_loads"`
 	// Mechanisms lists the cached mechanisms, most recently used first,
 	// with their ETDD so operators can watch quality loss per network.
 	Mechanisms []MechStats `json:"mechanisms"`
@@ -150,9 +183,11 @@ type StatsSnapshot struct {
 // be momentarily inconsistent across counters (hits vs. solves); that
 // is fine for a monitoring endpoint and is the price of the lock-free
 // request path.
-func (s *stats) snapshot(cache *mechCache) StatsSnapshot {
+func (s *stats) snapshot(cache *mechCache, leaseState string, fence uint64) StatsSnapshot {
 	solves := s.solves.Load()
 	snap := StatsSnapshot{
+		LeaseState: leaseState,
+		FenceToken: fence,
 		CacheHits:       s.hits.Load(),
 		CacheMisses:     s.misses.Load(),
 		CacheEvicted:    s.evicted.Load(),
@@ -175,6 +210,11 @@ func (s *stats) snapshot(cache *mechCache) StatsSnapshot {
 		CorruptQuarantined: s.nQuarantined.Load(),
 		RecoveredSolves:    s.nRecovered.Load(),
 		CheckpointWrites:   s.ckptWrites.Load(),
+
+		LeaseRenewals: s.leaseRenews.Load(),
+		LeaseLosses:   s.leaseLosses.Load(),
+		ProxiedSolves: s.nProxied.Load(),
+		RefreshLoads:  s.refreshLoads.Load(),
 
 		MaxSolveMs: float64(s.solveMax.Load()) / float64(time.Millisecond),
 	}

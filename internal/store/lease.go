@@ -1,0 +1,237 @@
+// Lease: the fleet's single-writer protocol. N processes share one
+// snapshot directory; exactly one — the leader — may commit. Leadership
+// is a TTL lease stored in the LEASE file, serialized by an exclusive
+// flock on LEASE.lock (flock serializes across processes; the record
+// itself is written temp→rename so readers never see a torn file).
+//
+// Fencing: every ownership change increments a monotonic token. The
+// holder's token is stamped into each snapshot it commits, and commit
+// re-checks the token against the lease file under the flock
+// immediately before the rename — since an election also needs the
+// flock, no new leader can appear between the check and the rename. A
+// demoted leader's in-flight commit therefore loses the check, has its
+// payload quarantined for forensics, and returns ErrStaleFence; the
+// process keeps serving, it just stopped writing.
+//
+// The lease is soft state: if the holder dies, the TTL expires and the
+// next TryAcquire wins with a higher token. Nothing ever blocks on a
+// dead process.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// Fault-injection sites for the lease protocol and fenced commits.
+const (
+	FaultSiteLeaseAcquire = "store/lease/acquire"
+	FaultSiteLeaseRenew   = "store/lease/renew"
+	FaultSiteLeaseRelease = "store/lease/release"
+	FaultSiteLeaseRead    = "store/lease/read"
+	FaultSiteLeaseWrite   = "store/lease/write"
+	FaultSiteStaleFence   = "store/fence/stale"
+)
+
+const (
+	leaseName     = "LEASE"
+	leaseLockName = "LEASE.lock"
+)
+
+// ErrStaleFence reports a commit attempted with a fencing token that no
+// longer matches the lease file — the writer was demoted (or never
+// elected). The payload has been quarantined, not served and not
+// crashed on; the worst outcome is a re-solve by the current leader.
+var ErrStaleFence = errors.New("store: stale fencing token")
+
+// LeaseRecord is the on-disk lease state. Owner=="" means released;
+// Token survives releases so it only ever increases.
+type LeaseRecord struct {
+	// Owner identifies the holding process (instance name). Empty when
+	// the lease has been released cleanly.
+	Owner string `json:"owner"`
+	// URL is the holder's advertised base URL, so followers know where
+	// to proxy solves.
+	URL string `json:"url"`
+	// Token is the fencing token: bumped on every ownership change,
+	// never reused, stamped into every snapshot the holder commits.
+	Token uint64 `json:"token"`
+	// ExpiresUnixNano is the lease deadline; past it any process may
+	// take over (bumping Token).
+	ExpiresUnixNano int64 `json:"expires_unix_nano"`
+}
+
+// Expired reports whether the lease deadline has passed at now.
+func (r LeaseRecord) Expired(now time.Time) bool {
+	return now.UnixNano() >= r.ExpiresUnixNano
+}
+
+// TryAcquire attempts to take the lease for owner (advertising url to
+// followers) with the given TTL. It succeeds when the lease is free,
+// expired, or already held by owner; on any ownership change the
+// fencing token is incremented. On success the returned token is also
+// installed as the store's commit fence.
+func (s *Store) TryAcquire(owner, url string, ttl time.Duration) (uint64, bool, error) {
+	if ferr := faultinject.At(FaultSiteLeaseAcquire); ferr != nil {
+		return 0, false, fmt.Errorf("store: lease acquire: %w", ferr)
+	}
+	lock, err := s.lockLease()
+	if err != nil {
+		return 0, false, err
+	}
+	defer unlockLease(lock)
+	rec, ok, err := s.readLease()
+	if err != nil {
+		return 0, false, err
+	}
+	now := s.now()
+	if ok && rec.Owner != "" && rec.Owner != owner && !rec.Expired(now) {
+		return 0, false, nil // held by a live peer
+	}
+	token := rec.Token
+	if !ok || rec.Owner != owner || rec.Expired(now) {
+		// Ownership change — including re-taking our own expired lease,
+		// where a commit from our pre-expiry self must not be trusted.
+		token++
+	}
+	next := LeaseRecord{Owner: owner, URL: url, Token: token, ExpiresUnixNano: now.Add(ttl).UnixNano()}
+	if err := s.writeLease(next); err != nil {
+		return 0, false, err
+	}
+	s.fence.Store(token)
+	return token, true, nil
+}
+
+// Renew extends the lease iff it is still held by owner with token. A
+// false return means the lease was lost (a peer was elected, or the
+// record vanished); the store's commit fence is cleared so in-flight
+// writes fail fast instead of racing the new leader to the flock.
+func (s *Store) Renew(owner string, token uint64, ttl time.Duration) (bool, error) {
+	if ferr := faultinject.At(FaultSiteLeaseRenew); ferr != nil {
+		return false, fmt.Errorf("store: lease renew: %w", ferr)
+	}
+	lock, err := s.lockLease()
+	if err != nil {
+		return false, err
+	}
+	defer unlockLease(lock)
+	rec, ok, err := s.readLease()
+	if err != nil {
+		return false, err
+	}
+	if !ok || rec.Owner != owner || rec.Token != token {
+		s.fence.CompareAndSwap(token, 0)
+		return false, nil
+	}
+	// An expired-but-untaken lease is still safely ours: any takeover
+	// would have bumped Token under the same flock we now hold.
+	rec.ExpiresUnixNano = s.now().Add(ttl).UnixNano()
+	if err := s.writeLease(rec); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Release gives up the lease if held by owner with token. The record
+// keeps its Token (cleared Owner only) so tokens stay monotonic across
+// clean handoffs. Releasing a lease you no longer hold is a no-op.
+func (s *Store) Release(owner string, token uint64) error {
+	if ferr := faultinject.At(FaultSiteLeaseRelease); ferr != nil {
+		return fmt.Errorf("store: lease release: %w", ferr)
+	}
+	lock, err := s.lockLease()
+	if err != nil {
+		return err
+	}
+	defer unlockLease(lock)
+	s.fence.CompareAndSwap(token, 0)
+	rec, ok, err := s.readLease()
+	if err != nil || !ok || rec.Owner != owner || rec.Token != token {
+		return err
+	}
+	rec.Owner = ""
+	rec.URL = ""
+	return s.writeLease(rec)
+}
+
+// LeaseHolder returns the current lease record without taking the
+// flock (the record is rename-atomic, so a lock-free read is always a
+// consistent snapshot). ok is false when no lease record exists yet.
+func (s *Store) LeaseHolder() (LeaseRecord, bool, error) {
+	return s.readLease()
+}
+
+// Fence returns the fencing token this store stamps into commits; 0
+// means the store holds no lease (followers, or single-process mode).
+func (s *Store) Fence() uint64 { return s.fence.Load() }
+
+// lockLease takes the cross-process exclusive lock serializing all
+// lease mutations and the fenced-commit check. flock contends between
+// file descriptions, so two goroutines of one process queue just like
+// two processes do.
+func (s *Store) lockLease() (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(s.dir, leaseLockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: lease lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: lease lock: %w", err)
+	}
+	return f, nil
+}
+
+func unlockLease(f *os.File) {
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	f.Close()
+}
+
+// readLease loads the lease record. A missing file is (zero, false,
+// nil); an unparsable record is an error — never a free lease, so a
+// corrupted file cannot silently mint a second writer.
+func (s *Store) readLease() (LeaseRecord, bool, error) {
+	if ferr := faultinject.At(FaultSiteLeaseRead); ferr != nil {
+		return LeaseRecord{}, false, fmt.Errorf("store: lease read: %w", ferr)
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, leaseName))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return LeaseRecord{}, false, nil
+		}
+		return LeaseRecord{}, false, fmt.Errorf("store: lease read: %w", err)
+	}
+	var rec LeaseRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return LeaseRecord{}, false, fmt.Errorf("store: lease read: %w", err)
+	}
+	return rec, true, nil
+}
+
+// writeLease commits the lease record temp→rename so a concurrent
+// LeaseHolder never observes a torn write. No fsync: the lease is soft
+// state that TTL expiry regenerates after a crash.
+func (s *Store) writeLease(rec LeaseRecord) error {
+	if ferr := faultinject.At(FaultSiteLeaseWrite); ferr != nil {
+		return fmt.Errorf("store: lease write: %w", ferr)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: lease write: %w", err)
+	}
+	tmp := filepath.Join(s.dir, tmpPrefix+leaseName)
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: lease write: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, leaseName)); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("store: lease write: %w", err)
+	}
+	return nil
+}

@@ -27,7 +27,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/faultinject"
 	"repro/internal/serial"
@@ -41,6 +45,8 @@ const (
 	FaultSiteRename     = "store/rename"
 	FaultSiteRead       = "store/read"
 	FaultSiteQuarantine = "store/quarantine"
+	FaultSiteRefresh    = "store/refresh"
+	FaultSiteDirSync    = "store/dirsync"
 )
 
 const (
@@ -48,6 +54,17 @@ const (
 	checkpointExt = ".ckpt"
 	tmpPrefix     = "tmp-"
 	quarantineDir = "quarantine"
+
+	// debrisGrace is how old a temp file must be before Scan removes it
+	// as crash debris. In a fleet, a peer may be mid-commit right now;
+	// no live protocol run holds a temp file anywhere near this long.
+	debrisGrace = time.Minute
+
+	// scanSettle is the quiescence window for the directory-mtime
+	// short-circuit: the cached listing is only trusted when the
+	// directory had already been still for longer than the coarsest
+	// filesystem mtime granularity at the previous walk.
+	scanSettle = 2 * time.Second
 )
 
 // ErrNotFound reports that no committed snapshot exists for a digest.
@@ -62,28 +79,66 @@ var ErrCorrupt = errors.New("store: corrupt snapshot")
 // Store is a snapshot directory. All methods are safe for concurrent
 // use by multiple goroutines of one process; the atomic-rename protocol
 // additionally keeps concurrent writers of the same digest from ever
-// exposing a torn file (last rename wins whole).
+// exposing a torn file (last rename wins whole). In fleet mode (see
+// OpenFleet) commits are additionally fenced by the lease protocol in
+// lease.go, so of N processes sharing the directory only the current
+// leaseholder can commit.
 type Store struct {
-	dir string
+	dir   string
+	fleet bool
+	// fence is the lease token stamped into commits; 0 when this
+	// process holds no lease. Maintained by TryAcquire/Renew/Release.
+	fence atomic.Uint64
+	// now is the clock, swappable by tests for lease-expiry scenarios.
+	now func() time.Time
+
+	// Scan cache: per-file (size, mtime) stamps plus the decoded result,
+	// so repeated scans re-read only files that actually changed.
+	scanMu     sync.Mutex
+	scanCache  map[string]scanCached
+	dirMtime   time.Time
+	dirValid   bool
+	dirSettled bool
 }
 
-// Open creates (if needed) and returns the store at dir.
-func Open(dir string) (*Store, error) {
+// scanCached is one committed file's cached Scan outcome: exactly one
+// of entry/ckpt is set.
+type scanCached struct {
+	size  int64
+	mtime time.Time
+	entry *ScanEntry
+	ckpt  *serial.StoredCheckpoint
+}
+
+// Open creates (if needed) and returns the store at dir in
+// single-process mode: commits are not fenced and snapshots carry
+// fencing token 0.
+func Open(dir string) (*Store, error) { return open(dir, false) }
+
+// OpenFleet opens the store at dir in fleet mode: every commit must
+// hold the current lease (TryAcquire) and re-verifies its fencing token
+// under the lease lock immediately before the rename. Commits without
+// the lease fail with ErrStaleFence and their payload is quarantined.
+func OpenFleet(dir string) (*Store, error) { return open(dir, true) }
+
+func open(dir string, fleet bool) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("store: empty directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, fleet: fleet, now: time.Now, scanCache: make(map[string]scanCached)}, nil
 }
 
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
 // WriteEntry durably persists a completed entry snapshot under its
-// spec's digest.
+// spec's digest, stamping the store's current fencing token into the
+// snapshot (0 outside fleet mode) for forensic attribution.
 func (s *Store) WriteEntry(e *serial.StoredEntry) error {
+	e.Fence = s.fence.Load()
 	data, err := serial.EncodeStoredEntry(e)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -93,7 +148,9 @@ func (s *Store) WriteEntry(e *serial.StoredEntry) error {
 
 // WriteCheckpoint durably persists a mid-solve checkpoint under its
 // spec's digest, replacing any previous checkpoint for that digest.
+// Like WriteEntry it stamps the current fencing token.
 func (s *Store) WriteCheckpoint(c *serial.StoredCheckpoint) error {
+	c.Fence = s.fence.Load()
 	data, err := serial.EncodeStoredCheckpoint(c)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -154,7 +211,7 @@ type ScanEntry struct {
 	Tier   string
 }
 
-// ScanReport is the outcome of a startup scan.
+// ScanReport is the outcome of a startup or refresh scan.
 type ScanReport struct {
 	// Entries lists the valid entry snapshots (digest + tier), lazily
 	// loadable via LoadEntry.
@@ -162,31 +219,70 @@ type ScanReport struct {
 	// Checkpoints holds the decoded, validated mid-solve checkpoints —
 	// the interrupted solves a restarting server re-enqueues.
 	Checkpoints []*serial.StoredCheckpoint
-	// Quarantined counts files moved aside for failing checksum,
-	// version or semantic validation.
+	// Quarantined counts files moved aside this scan for failing
+	// checksum, version or semantic validation.
 	Quarantined int
+	// Delta lists the entries that are new or changed since the
+	// previous Scan on this Store — what a follower's refresh loop
+	// feeds into its cache.
+	Delta []ScanEntry
+	// Loaded counts files actually read and decoded this scan; a scan
+	// over an unchanged directory reports 0 (everything served from the
+	// per-file stamp cache).
+	Loaded int
 }
 
 // Scan walks the store directory, validating every committed snapshot:
 // valid entries and checkpoints are reported, corrupt files are
-// quarantined, and temp debris from crashed writes is deleted. Scan
-// never fails on the content of any individual file — a torn write or
-// hostile bytes cost that one file, nothing else.
+// quarantined, and temp debris from crashed writes is deleted (only
+// once older than debrisGrace — in a fleet a peer may be mid-commit).
+// Scan never fails on the content of any individual file — a torn
+// write or hostile bytes cost that one file, nothing else.
+//
+// Repeated scans are cheap: each file's (size, mtime) is cached with
+// its decoded result, so an unchanged file is never re-read, and an
+// unchanged directory (by mtime, once quiescent for scanSettle) is not
+// even re-listed. The directory is stat'ed before the walk, so a
+// writer racing the walk can only make the cache conservatively stale
+// — the next Scan re-walks.
 func (s *Store) Scan() (*ScanReport, error) {
+	s.scanMu.Lock()
+	defer s.scanMu.Unlock()
+	if ferr := faultinject.At(FaultSiteRefresh); ferr != nil {
+		return nil, fmt.Errorf("store: scan: %w", ferr)
+	}
+	now := s.now()
+	di, derr := os.Stat(s.dir)
+	if derr == nil && s.dirValid && s.dirSettled && di.ModTime().Equal(s.dirMtime) {
+		return s.reportFromCache(0, nil, 0), nil
+	}
 	names, err := os.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: scan: %w", err)
 	}
-	rep := &ScanReport{}
+	loaded, quarantined := 0, 0
+	var delta []ScanEntry
+	live := make(map[string]bool, len(names))
 	for _, de := range names {
 		name := de.Name()
-		if de.IsDir() {
-			continue // quarantine/ and anything else foreign
+		if de.IsDir() || name == leaseName || name == leaseLockName {
+			continue // quarantine/, the lease protocol's files
 		}
 		if strings.HasPrefix(name, tmpPrefix) {
 			// Debris of a write that never committed: the rename never
-			// happened, so nothing references it. Remove quietly.
-			_ = os.Remove(filepath.Join(s.dir, name))
+			// happened, so nothing references it. Remove quietly, but
+			// only once old enough that no live peer can still own it.
+			if fi, ferr := de.Info(); ferr == nil && now.Sub(fi.ModTime()) > debrisGrace {
+				_ = os.Remove(filepath.Join(s.dir, name))
+			}
+			continue
+		}
+		fi, ferr := de.Info()
+		if ferr != nil {
+			continue // vanished between the listing and the stat
+		}
+		if c, ok := s.scanCache[name]; ok && c.size == fi.Size() && c.mtime.Equal(fi.ModTime()) {
+			live[name] = true
 			continue
 		}
 		switch {
@@ -196,29 +292,68 @@ func (s *Store) Scan() (*ScanReport, error) {
 			if err != nil {
 				// LoadEntry quarantined a corrupt file already; count it.
 				if errors.Is(err, ErrCorrupt) {
-					rep.Quarantined++
+					quarantined++
 				}
 				continue
 			}
-			rep.Entries = append(rep.Entries, ScanEntry{Digest: digest, Tier: e.Tier})
+			loaded++
+			se := ScanEntry{Digest: digest, Tier: e.Tier}
+			s.scanCache[name] = scanCached{size: fi.Size(), mtime: fi.ModTime(), entry: &se}
+			delta = append(delta, se)
+			live[name] = true
 		case strings.HasSuffix(name, checkpointExt):
 			digest := strings.TrimSuffix(name, checkpointExt)
 			c, err := s.LoadCheckpoint(digest)
 			if err != nil {
 				if errors.Is(err, ErrCorrupt) {
-					rep.Quarantined++
+					quarantined++
 				}
 				continue
 			}
-			rep.Checkpoints = append(rep.Checkpoints, c)
+			loaded++
+			s.scanCache[name] = scanCached{size: fi.Size(), mtime: fi.ModTime(), ckpt: c}
+			live[name] = true
 		default:
 			// Unknown file kind in the store directory: treat exactly
 			// like a corrupt snapshot — move it out of the way.
 			s.quarantine(name)
-			rep.Quarantined++
+			quarantined++
 		}
 	}
-	return rep, nil
+	// Files that disappeared (completed checkpoints deleted, peers'
+	// quarantines) fall out of the cache and the report.
+	for name := range s.scanCache {
+		if !live[name] {
+			delete(s.scanCache, name)
+		}
+	}
+	if derr == nil {
+		s.dirMtime = di.ModTime()
+		s.dirValid = true
+		s.dirSettled = now.Sub(di.ModTime()) > scanSettle
+	} else {
+		s.dirValid = false
+	}
+	return s.reportFromCache(loaded, delta, quarantined), nil
+}
+
+// reportFromCache materialises a fresh ScanReport (callers own it) from
+// the stamp cache, in digest order for determinism.
+func (s *Store) reportFromCache(loaded int, delta []ScanEntry, quarantined int) *ScanReport {
+	rep := &ScanReport{Loaded: loaded, Delta: delta, Quarantined: quarantined}
+	for _, c := range s.scanCache {
+		switch {
+		case c.entry != nil:
+			rep.Entries = append(rep.Entries, *c.entry)
+		case c.ckpt != nil:
+			rep.Checkpoints = append(rep.Checkpoints, c.ckpt)
+		}
+	}
+	sort.Slice(rep.Entries, func(i, j int) bool { return rep.Entries[i].Digest < rep.Entries[j].Digest })
+	sort.Slice(rep.Checkpoints, func(i, j int) bool {
+		return rep.Checkpoints[i].Spec.Digest() < rep.Checkpoints[j].Spec.Digest()
+	})
+	return rep
 }
 
 // commit runs the atomic durability protocol: temp write → fsync →
@@ -265,15 +400,70 @@ func (s *Store) commit(name string, data []byte) (err error) {
 	if ferr := faultinject.At(FaultSiteRename); ferr != nil {
 		return fmt.Errorf("store: rename %s: %w", name, ferr)
 	}
+	if s.fleet {
+		return s.fencedRename(tmp, name)
+	}
 	if rerr := os.Rename(tmp, filepath.Join(s.dir, name)); rerr != nil {
 		return fmt.Errorf("store: %w", rerr)
 	}
-	// fsync the directory so the rename itself survives power loss.
+	s.syncDir()
+	return nil
+}
+
+// fencedRename is the fleet-mode commit step: under the lease lock it
+// re-reads the lease record and renames only if this store's fencing
+// token is still the one on file. An election needs the same lock, so
+// no new leader can be minted between the check and the rename. A
+// stale (or absent) token quarantines the payload and reports
+// ErrStaleFence — a demoted leader's write is discarded, never served.
+func (s *Store) fencedRename(tmp, name string) error {
+	cur := s.fence.Load()
+	if ferr := faultinject.At(FaultSiteStaleFence); ferr != nil {
+		return s.rejectStale(tmp, name, cur)
+	}
+	if cur == 0 {
+		return s.rejectStale(tmp, name, cur)
+	}
+	lock, err := s.lockLease()
+	if err != nil {
+		return fmt.Errorf("store: commit %s: %w", name, err)
+	}
+	defer unlockLease(lock)
+	rec, ok, err := s.readLease()
+	if err != nil {
+		return fmt.Errorf("store: commit %s: %w", name, err)
+	}
+	if !ok || rec.Token != cur {
+		return s.rejectStale(tmp, name, cur)
+	}
+	if rerr := os.Rename(tmp, filepath.Join(s.dir, name)); rerr != nil {
+		return fmt.Errorf("store: %w", rerr)
+	}
+	s.syncDir()
+	return nil
+}
+
+// rejectStale quarantines a fenced-out commit's temp payload (kept for
+// forensics under its unique temp name) and clears the stale fence so
+// subsequent writes fail fast without re-contending the lease lock.
+func (s *Store) rejectStale(tmp, name string, cur uint64) error {
+	s.fence.CompareAndSwap(cur, 0)
+	s.quarantine(filepath.Base(tmp))
+	return fmt.Errorf("store: commit %s: fence %d: %w", name, cur, ErrStaleFence)
+}
+
+// syncDir fsyncs the store directory so a just-committed rename
+// survives power loss. A failure here (injected or real) only weakens
+// power-loss durability of an already crash-consistent rename, so it
+// is ignored.
+func (s *Store) syncDir() {
+	if ferr := faultinject.At(FaultSiteDirSync); ferr != nil {
+		return
+	}
 	if d, derr := os.Open(s.dir); derr == nil {
 		_ = d.Sync()
 		d.Close()
 	}
-	return nil
 }
 
 // read fetches a committed snapshot's bytes.

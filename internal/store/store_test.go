@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/faultinject"
 	"repro/internal/roadnet"
@@ -166,8 +167,9 @@ func TestStoreCommitFaults(t *testing.T) {
 }
 
 // TestStoreShortWriteLeavesOnlyDebris: a torn write (half the bytes,
-// then death) must leave temp debris that Scan sweeps away — never a
-// committed file.
+// then death) must leave temp debris — never a committed file. Fresh
+// debris survives a scan (a fleet peer could be mid-commit under the
+// same name pattern); once older than the grace period, Scan sweeps it.
 func TestStoreShortWriteLeavesOnlyDebris(t *testing.T) {
 	defer faultinject.Reset()
 	s := openTestStore(t)
@@ -176,19 +178,19 @@ func TestStoreShortWriteLeavesOnlyDebris(t *testing.T) {
 	if err := s.WriteEntry(e); err == nil {
 		t.Fatal("torn write reported success")
 	}
-	var debris int
+	var debris []string
 	names, err := os.ReadDir(s.Dir())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, de := range names {
 		if strings.HasPrefix(de.Name(), tmpPrefix) {
-			debris++
+			debris = append(debris, de.Name())
 		} else if !de.IsDir() {
 			t.Fatalf("torn write committed a file: %s", de.Name())
 		}
 	}
-	if debris == 0 {
+	if len(debris) == 0 {
 		t.Fatal("torn write left no temp file to exercise recovery against")
 	}
 
@@ -199,13 +201,32 @@ func TestStoreShortWriteLeavesOnlyDebris(t *testing.T) {
 	if len(rep.Entries) != 0 || len(rep.Checkpoints) != 0 || rep.Quarantined != 0 {
 		t.Fatalf("scan over debris: %+v, want empty report", rep)
 	}
+	// Fresh debris is untouched: it could be a live peer's in-flight
+	// commit.
+	for _, name := range debris {
+		if _, err := os.Stat(filepath.Join(s.Dir(), name)); err != nil {
+			t.Fatalf("scan removed fresh temp file %s: %v", name, err)
+		}
+	}
+
+	// Backdate the debris past the grace period; now it is provably a
+	// crashed write and the next scan sweeps it.
+	old := time.Now().Add(-2 * debrisGrace)
+	for _, name := range debris {
+		if err := os.Chtimes(filepath.Join(s.Dir(), name), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Scan(); err != nil {
+		t.Fatal(err)
+	}
 	names, err = os.ReadDir(s.Dir())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, de := range names {
 		if strings.HasPrefix(de.Name(), tmpPrefix) {
-			t.Fatalf("scan left temp debris behind: %s", de.Name())
+			t.Fatalf("scan left expired temp debris behind: %s", de.Name())
 		}
 	}
 }
