@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/discretize"
+	"repro/internal/lp"
 	"repro/internal/roadnet"
 	"repro/internal/serial"
 	"repro/internal/server"
@@ -37,14 +38,19 @@ import (
 )
 
 // benchSizes mirrors the cgBenchSizes table in bench_test.go.
+// DenseColdNs is the checked-in cold ns/op of the last dense-kernel
+// build (BENCH_solver.json before the sparse CSC/CSR + presolve
+// kernels landed); the report carries speedup_vs_dense against it so
+// the sparse-kernel win stays visible after the baseline is gone.
 var benchSizes = []struct {
-	Name       string
-	Rows, Cols int
-	Delta      float64
+	Name        string
+	Rows, Cols  int
+	Delta       float64
+	DenseColdNs int64
 }{
-	{"K12", 2, 2, 0.3},
-	{"K24", 2, 3, 0.2},
-	{"K44", 3, 3, 0.15},
+	{"K12", 2, 2, 0.3, 588986},
+	{"K24", 2, 3, 0.2, 209022050},
+	{"K44", 3, 3, 0.15, 2086205858},
 }
 
 type measurement struct {
@@ -55,6 +61,38 @@ type measurement struct {
 	ETDD        float64 `json:"etdd,omitempty"`
 }
 
+// presolveReport is the lp.Presolve reduction on one LP shape: absolute
+// removals plus ratios against the original size. Near-zero values are
+// the expected (honest) result on CG formulations.
+type presolveReport struct {
+	Rows        int     `json:"rows"`
+	Cols        int     `json:"cols"`
+	Nnz         int     `json:"nnz"`
+	RowsRemoved int     `json:"rows_removed"`
+	ColsRemoved int     `json:"cols_removed"`
+	NnzRemoved  int     `json:"nnz_removed"`
+	RowRatio    float64 `json:"row_ratio"`
+	ColRatio    float64 `json:"col_ratio"`
+	NnzRatio    float64 `json:"nnz_ratio"`
+}
+
+func toPresolveReport(st lp.PresolveStats) presolveReport {
+	return presolveReport{
+		Rows: st.Rows, Cols: st.Cols, Nnz: st.Nnz,
+		RowsRemoved: st.RowsRemoved, ColsRemoved: st.ColsRemoved, NnzRemoved: st.NnzRemoved,
+		RowRatio: intRatio(st.RowsRemoved, st.Rows),
+		ColRatio: intRatio(st.ColsRemoved, st.Cols),
+		NnzRatio: intRatio(st.NnzRemoved, st.Nnz),
+	}
+}
+
+func intRatio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
 type pairReport struct {
 	Size       string      `json:"size"`
 	K          int         `json:"k"`
@@ -63,6 +101,13 @@ type pairReport struct {
 	Speedup    float64     `json:"speedup"`
 	AllocRatio float64     `json:"alloc_ratio"`
 	BytesRatio float64     `json:"bytes_ratio"`
+	// DenseBaselineNs is the checked-in cold ns/op of the dense kernels;
+	// SpeedupVsDense = dense baseline / current cold.
+	DenseBaselineNs int64   `json:"dense_baseline_ns"`
+	SpeedupVsDense  float64 `json:"speedup_vs_dense"`
+	// Presolve reduction ratios for this tier's two LP shapes.
+	PresolveMaster  presolveReport `json:"presolve_master"`
+	PresolvePricing presolveReport `json:"presolve_pricing"`
 }
 
 type serveReport struct {
@@ -112,14 +157,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, " %s, warm...", time.Duration(cold.NsPerOp))
 		warm := measureSolveCG(pr, false)
 		fmt.Fprintf(os.Stderr, " %s\n", time.Duration(warm.NsPerOp))
+		psMaster, psPricing := core.PresolveReduction(pr)
 		rep.SolveCG = append(rep.SolveCG, pairReport{
-			Size:       size.Name,
-			K:          pr.Part.K(),
-			Cold:       cold,
-			Warm:       warm,
-			Speedup:    ratio(cold.NsPerOp, warm.NsPerOp),
-			AllocRatio: ratio(cold.AllocsPerOp, warm.AllocsPerOp),
-			BytesRatio: ratio(cold.BytesPerOp, warm.BytesPerOp),
+			Size:            size.Name,
+			K:               pr.Part.K(),
+			Cold:            cold,
+			Warm:            warm,
+			Speedup:         ratio(cold.NsPerOp, warm.NsPerOp),
+			AllocRatio:      ratio(cold.AllocsPerOp, warm.AllocsPerOp),
+			BytesRatio:      ratio(cold.BytesPerOp, warm.BytesPerOp),
+			DenseBaselineNs: size.DenseColdNs,
+			SpeedupVsDense:  ratio(size.DenseColdNs, cold.NsPerOp),
+			PresolveMaster:  toPresolveReport(psMaster),
+			PresolvePricing: toPresolveReport(psPricing),
 		})
 	}
 

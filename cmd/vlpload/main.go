@@ -265,8 +265,16 @@ func run(ctx context.Context, cfg harnessConfig, clock loadgen.Clock) (loadgen.R
 	}, results, elapsed)
 	// In a fleet run the counters come from the first target; server-side
 	// counters are per-process, and the leader (started first by
-	// convention) is the one whose solve counters matter.
-	rep.Server = fetchServerCounters(ctx, cfg.client, urls[0])
+	// convention) is the one whose solve counters matter. fleet_totals
+	// sums every member's snapshot for the fleet-wide picture.
+	scrapes := make([]*loadgen.ServerCounters, len(urls))
+	for i, u := range urls {
+		scrapes[i] = fetchServerCounters(ctx, cfg.client, u)
+	}
+	rep.Server = scrapes[0]
+	if len(cfg.targets) > 0 {
+		rep.FleetTotals = loadgen.MergeCounters(scrapes)
+	}
 	return rep, nil
 }
 

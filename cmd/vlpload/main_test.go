@@ -198,6 +198,15 @@ func TestLoadFleetSmoke(t *testing.T) {
 	if rep.Server == nil || int(rep.Server.Solves) != cfg.specs {
 		t.Fatalf("leader counters %+v, want exactly %d solves", rep.Server, cfg.specs)
 	}
+	// The merged block sums both members; the follower never cold-solves,
+	// so the fleet-wide solve count still equals the digest pool, while
+	// cache traffic can only grow when the follower's slice is added in.
+	if rep.FleetTotals == nil || int(rep.FleetTotals.Solves) != cfg.specs {
+		t.Fatalf("fleet_totals %+v, want exactly %d solves fleet-wide", rep.FleetTotals, cfg.specs)
+	}
+	if rep.FleetTotals.CacheHits < rep.Server.CacheHits {
+		t.Fatalf("fleet_totals cache_hits %d below the leader's %d", rep.FleetTotals.CacheHits, rep.Server.CacheHits)
+	}
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

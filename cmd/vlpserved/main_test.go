@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/loadgen"
 	"repro/internal/roadnet"
 	"repro/internal/serial"
 )
@@ -304,6 +305,7 @@ func TestLeaderFailover(t *testing.T) {
 	slow := slowSpec(t)
 	go func() { _, _ = s1.solveSpec(slow, 5*time.Minute) }()
 	s1.waitStat("checkpoint_writes", 1, time.Minute)
+	killedAt := time.Now()
 	s1.kill()
 
 	// A follower is elected within ~TTL and its promotion re-enqueues
@@ -339,6 +341,12 @@ func TestLeaderFailover(t *testing.T) {
 	if q, ok := res["quality"].(string); ok && q != "" && q != serial.QualityOptimal {
 		t.Fatalf("recovered solve served tier %q, want optimal", q)
 	}
+	// The failover window: SIGKILL of the lease holder to the first
+	// optimal-tier serve by its successor — election, checkpoint
+	// recovery, and the recommit all inside it.
+	failover := time.Since(killedAt)
+	t.Logf("failover window: SIGKILL -> first optimal serve in %v", failover)
+	recordFailover(t, failover)
 
 	// The remaining follower never solves: a cold spec is proxied to the
 	// new leader and read back through the store.
@@ -355,6 +363,39 @@ func TestLeaderFailover(t *testing.T) {
 	if fst["store_writes"] != 0 {
 		t.Fatalf("follower committed %v snapshots, want 0 (single writer)", fst["store_writes"])
 	}
+}
+
+// recordFailover stamps the measured failover window into the
+// BENCH_serve.json named by VLP_FAILOVER_OUT, re-validating the file
+// through the same strict schema gate ci.sh applies. The env var is
+// only set when regenerating the checked-in artifact; the CI gate runs
+// without it and just logs the measurement, so the tree stays clean.
+func recordFailover(t *testing.T, d time.Duration) {
+	t.Helper()
+	path := os.Getenv("VLP_FAILOVER_OUT")
+	if path == "" {
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("VLP_FAILOVER_OUT: %v", err)
+	}
+	rep, err := loadgen.ValidateJSON(data)
+	if err != nil {
+		t.Fatalf("VLP_FAILOVER_OUT %s is not a valid BENCH_serve.json: %v", path, err)
+	}
+	rep.FailoverMs = float64(d) / float64(time.Millisecond)
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadgen.ValidateJSON(out); err != nil {
+		t.Fatalf("stamped report failed the schema gate: %v", err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("stamped failover_ms=%.1f into %s", rep.FailoverMs, path)
 }
 
 // TestDeprecatedSolvesFlagWarns: the -solves alias still works but

@@ -620,6 +620,33 @@ func solveMaster(ctx context.Context, pr *Problem, columns []cgColumn, rho float
 	lpOpts.Ctx = ctx
 	k := pr.Part.K()
 	n := len(columns)
+	prob := buildMasterProblem(k, columns, rho)
+
+	// The master is heavily degenerate with many near-parallel columns —
+	// hostile territory for pivoting methods — so it is solved with the
+	// interior-point method, which needs no vertex (the recovered
+	// mechanism is a convex combination anyway) and produces the
+	// well-centred duals column generation wants.
+	sol, err := lp.SolveIPM(prob, lpOpts)
+	if err != nil {
+		return 0, nil, nil, nil, 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return 0, nil, nil, nil, 0, fmt.Errorf("master LP (%d rows, %d cols) ended %v after %d IPM iterations",
+			prob.NumConstraints(), prob.NumVars(), sol.Status, sol.Iterations)
+	}
+	for s := 0; s < 2*k; s++ {
+		slackUse += sol.X[n+s]
+	}
+	return sol.Objective, sol.X[:n], sol.Duals[:k], sol.Duals[k : 2*k], slackUse, nil
+}
+
+// buildMasterProblem compiles the restricted master LP over a column
+// pool: n column weights plus 2k stabilization slacks, k unit rows and
+// k convexity rows (the cold-restart layout; the persistent masterState
+// puts slacks first instead).
+func buildMasterProblem(k int, columns []cgColumn, rho float64) *lp.Problem {
+	n := len(columns)
 	prob := lp.NewProblem(n + 2*k)
 	for ci, c := range columns {
 		prob.SetObjectiveCoeff(ci, c.cost)
@@ -646,24 +673,42 @@ func solveMaster(ctx context.Context, pr *Problem, columns []cgColumn, rho float
 	for l := 0; l < k; l++ {
 		prob.AddConstraint(perL[l], lp.EQ, 1)
 	}
+	return prob
+}
 
-	// The master is heavily degenerate with many near-parallel columns —
-	// hostile territory for pivoting methods — so it is solved with the
-	// interior-point method, which needs no vertex (the recovered
-	// mechanism is a convex combination anyway) and produces the
-	// well-centred duals column generation wants.
-	sol, err := lp.SolveIPM(prob, lpOpts)
-	if err != nil {
-		return 0, nil, nil, nil, 0, err
+// PresolveReduction reports what lp.Presolve removes from the two LP
+// shapes this instance generates: the restricted master over the seed
+// column pool and one pricing dual subproblem. The benchmark suite
+// archives the ratios per K tier — honest near-zero numbers on these
+// shapes are expected (CG formulations carry no redundant rows), and a
+// sudden nonzero value flags a formulation change.
+func PresolveReduction(pr *Problem) (master, pricing lp.PresolveStats) {
+	k := pr.Part.K()
+	columns := seedColumns(pr, false)
+	cmax := 0.0
+	for _, c := range pr.Costs {
+		if c > cmax {
+			cmax = c
+		}
 	}
-	if sol.Status != lp.Optimal {
-		return 0, nil, nil, nil, 0, fmt.Errorf("master LP (%d rows, %d cols) ended %v after %d IPM iterations",
-			prob.NumConstraints(), prob.NumVars(), sol.Status, sol.Iterations)
+	rho := 10 * cmax
+	if rho <= 0 {
+		rho = 1
 	}
-	for s := 0; s < 2*k; s++ {
-		slackUse += sol.X[n+s]
+	master = lp.Presolve(buildMasterProblem(k, columns, rho)).Stats()
+	// The pricing shape as priceOneCold builds it: sub_0 at the zero dual
+	// point, so the right-hand sides are the real −w values rather than
+	// the warm template's placeholders.
+	sub := newPricer(pr, CGOptions{}.withDefaults())
+	dual := lp.NewProblem(sub.numDual)
+	for b := 0; b < k; b++ {
+		dual.SetObjectiveCoeff(2*len(pr.Red.Pairs)+b, 1)
 	}
-	return sol.Objective, sol.X[:n], sol.Duals[:k], sol.Duals[k : 2*k], slackUse, nil
+	for i := 0; i < k; i++ {
+		dual.AddConstraint(sub.dualRows[i], lp.GE, -pr.Costs[i*k])
+	}
+	pricing = lp.Presolve(dual).Stats()
+	return master, pricing
 }
 
 // masterState is the persistent restricted master: one interior-point

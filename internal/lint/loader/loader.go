@@ -23,12 +23,14 @@ import (
 	"fmt"
 	"go/ast"
 	"go/build"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -203,6 +205,75 @@ func (l *Loader) loadTree(root string) ([]*Package, error) {
 	return pkgs, nil
 }
 
+var knownGOARCH = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+var knownGOOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+// fileMatchesHost reports whether the host's go build would include the
+// file: both the _GOOS/_GOARCH filename convention and any //go:build
+// constraint must select the running platform. Unknown tags evaluate
+// false, matching a default (no -tags) build.
+func fileMatchesHost(dir, fn string) bool {
+	parts := strings.Split(strings.TrimSuffix(fn, ".go"), "_")
+	if n := len(parts); n >= 2 {
+		last := parts[n-1]
+		switch {
+		case knownGOARCH[last]:
+			if last != runtime.GOARCH {
+				return false
+			}
+			if n >= 3 && knownGOOS[parts[n-2]] && parts[n-2] != runtime.GOOS {
+				return false
+			}
+		case knownGOOS[last]:
+			if last != runtime.GOOS {
+				return false
+			}
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, fn))
+	if err != nil {
+		return true // surface the read error at parse time instead
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(trimmed) {
+			continue
+		}
+		expr, err := constraint.Parse(trimmed)
+		if err != nil {
+			return true
+		}
+		return expr.Eval(func(tag string) bool {
+			switch tag {
+			case runtime.GOOS, runtime.GOARCH, "gc":
+				return true
+			case "unix":
+				return knownGOOS[runtime.GOOS] && runtime.GOOS != "windows" &&
+					runtime.GOOS != "plan9" && runtime.GOOS != "js" && runtime.GOOS != "wasip1"
+			}
+			if strings.HasPrefix(tag, "go1") {
+				return true
+			}
+			return false
+		})
+	}
+	return true
+}
+
 func hasGoFiles(dir string) bool {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -231,6 +302,12 @@ func (l *Loader) loadDir(dir, path string) (*Package, error) {
 	for _, e := range ents {
 		fn := e.Name()
 		if e.IsDir() || !strings.HasSuffix(fn, ".go") || strings.HasSuffix(fn, "_test.go") {
+			continue
+		}
+		if !fileMatchesHost(dir, fn) {
+			// Platform-gated variants (foo_amd64.go, //go:build !amd64)
+			// would redeclare each other's symbols if loaded together;
+			// keep exactly the set the host's go build would compile.
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, fn), nil, parser.ParseComments|parser.SkipObjectResolution)

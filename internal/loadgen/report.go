@@ -118,6 +118,42 @@ type Report struct {
 	// Server mirrors the target's /stats counters at run end, when the
 	// harness could fetch them (nil against a server it cannot reach).
 	Server *ServerCounters `json:"server,omitempty"`
+
+	// FleetTotals sums every fleet member's /stats counters into one
+	// fleet-wide block on -targets runs — the per-process counters say
+	// who did the work, the totals say what the fleet did. Absent for
+	// single-target runs and when no member could be scraped.
+	FleetTotals *ServerCounters `json:"fleet_totals,omitempty"`
+
+	// FailoverMs is the measured leader-failover window: SIGKILL of the
+	// lease holder to the first optimal-tier serve by its successor,
+	// recorded by the kill-the-leader gate (cmd/vlpserved
+	// TestLeaderFailover) rather than by the load harness itself. Zero
+	// when the gate has not stamped the report.
+	FailoverMs float64 `json:"failover_ms,omitempty"`
+}
+
+// MergeCounters sums per-member /stats snapshots into one fleet-wide
+// block. Unreachable members (nil entries) are skipped; nil is returned
+// when nothing was scraped at all.
+func MergeCounters(parts []*ServerCounters) *ServerCounters {
+	var tot *ServerCounters
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if tot == nil {
+			tot = &ServerCounters{}
+		}
+		tot.Solves += p.Solves
+		tot.CacheHits += p.CacheHits
+		tot.CacheMisses += p.CacheMisses
+		tot.Rejected += p.Rejected
+		tot.Coalesced += p.Coalesced
+		tot.AdmissionRejects += p.AdmissionRejects
+		tot.DegradedServes += p.DegradedServes
+	}
+	return tot
 }
 
 // BuildReport folds per-request results into a Report. elapsed is the
@@ -312,6 +348,34 @@ func (r *Report) Validate() error {
 	}
 	if len(r.PerTarget) > 0 && total != r.Requests {
 		return fmt.Errorf("loadgen: per_target requests sum to %d, report has %d", total, r.Requests)
+	}
+	if r.FailoverMs < 0 || math.IsNaN(r.FailoverMs) || math.IsInf(r.FailoverMs, 0) {
+		return fmt.Errorf("loadgen: failover_ms %v is not a non-negative finite duration", r.FailoverMs)
+	}
+	if r.FleetTotals != nil {
+		if len(r.Config.Targets) == 0 {
+			return fmt.Errorf("loadgen: fleet_totals present on a single-target run")
+		}
+		// The fleet-wide sum can never undercount the archived member.
+		if s := r.Server; s != nil {
+			ft := r.FleetTotals
+			for _, c := range []struct {
+				name      string
+				part, tot uint64
+			}{
+				{"solves", s.Solves, ft.Solves},
+				{"cache_hits", s.CacheHits, ft.CacheHits},
+				{"cache_misses", s.CacheMisses, ft.CacheMisses},
+				{"rejected", s.Rejected, ft.Rejected},
+				{"coalesced_requests", s.Coalesced, ft.Coalesced},
+				{"admission_rejects", s.AdmissionRejects, ft.AdmissionRejects},
+				{"degraded_serves", s.DegradedServes, ft.DegradedServes},
+			} {
+				if c.part > c.tot {
+					return fmt.Errorf("loadgen: fleet_totals %s %d below the server block's %d", c.name, c.tot, c.part)
+				}
+			}
+		}
 	}
 	return nil
 }

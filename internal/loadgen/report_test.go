@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -246,5 +247,90 @@ func TestValidateJSONRejectsMalformed(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+func TestFleetTotalsMergeAndValidate(t *testing.T) {
+	if tot := MergeCounters([]*ServerCounters{nil, nil}); tot != nil {
+		t.Fatalf("merge of unreachable members produced %+v, want nil", tot)
+	}
+	tot := MergeCounters([]*ServerCounters{
+		{Solves: 3, CacheHits: 10, Rejected: 1},
+		nil,
+		{Solves: 1, CacheHits: 4, DegradedServes: 2},
+	})
+	want := ServerCounters{Solves: 4, CacheHits: 14, Rejected: 1, DegradedServes: 2}
+	if tot == nil || *tot != want {
+		t.Fatalf("merged counters %+v, want %+v", tot, want)
+	}
+
+	cfg := testConfig()
+	cfg.Targets = []string{"http://a:8750", "http://b:8751"}
+	rep := stamp(BuildReport(cfg, []Result{
+		{Instance: 0, Status: 200, Rung: RungCached, Latency: time.Millisecond},
+		{Instance: 1, Status: 200, Rung: RungCached, Latency: time.Millisecond},
+	}, time.Second))
+	rep.Server = &ServerCounters{Solves: 3, CacheHits: 10}
+	rep.FleetTotals = tot
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("fleet report failed its schema check: %v", err)
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ValidateJSON(data)
+	if err != nil {
+		t.Fatalf("round-tripped fleet report rejected: %v", err)
+	}
+	if back.FleetTotals == nil || *back.FleetTotals != want {
+		t.Fatalf("fleet_totals changed in the round trip: %+v", back.FleetTotals)
+	}
+
+	// The fleet-wide sum can never undercount the archived member.
+	rep.FleetTotals = &ServerCounters{Solves: 2, CacheHits: 14}
+	if err := rep.Validate(); err == nil {
+		t.Fatal("fleet_totals below the server block passed validation")
+	}
+	rep.FleetTotals = tot
+
+	// fleet_totals is a fleet-run concept; single-target reports must
+	// not carry it.
+	solo := stamp(BuildReport(testConfig(), []Result{
+		{Status: 200, Rung: RungCached, Latency: time.Millisecond},
+	}, time.Second))
+	solo.FleetTotals = &ServerCounters{Solves: 1}
+	if err := solo.Validate(); err == nil {
+		t.Fatal("fleet_totals on a single-target run passed validation")
+	}
+}
+
+// TestFailoverMsValidation: the failover gate's stamp must be a
+// non-negative finite duration, and it must survive the strict JSON
+// round trip ci.sh applies to the checked-in artifact.
+func TestFailoverMsValidation(t *testing.T) {
+	rep := stamp(BuildReport(testConfig(), []Result{
+		{Status: 200, Rung: RungCached, Latency: time.Millisecond},
+	}, time.Second))
+	rep.FailoverMs = 1234.5
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report with failover_ms failed its schema check: %v", err)
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ValidateJSON(data)
+	if err != nil {
+		t.Fatalf("round-tripped failover report rejected: %v", err)
+	}
+	if back.FailoverMs != rep.FailoverMs {
+		t.Fatalf("failover_ms changed in the round trip: %v vs %v", back.FailoverMs, rep.FailoverMs)
+	}
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		rep.FailoverMs = bad
+		if err := rep.Validate(); err == nil {
+			t.Fatalf("failover_ms %v passed validation", bad)
+		}
 	}
 }

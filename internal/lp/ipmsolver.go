@@ -32,7 +32,9 @@ type IPMSolver struct {
 	warmX, warmY, warmS []float64
 	haveWarm            bool
 
-	entryBuf []Term // scratch for AddColumn's sorted, scaled entries
+	entryBuf []Term    // scratch for AddColumn's sorted, scaled entries
+	rowBuf   []int32   // scratch for AddColumn's merged CSC entries
+	valBuf   []float64 // scratch for AddColumn's merged CSC entries
 }
 
 // NewIPMSolver compiles the problem. Every constraint row must be EQ; a
@@ -85,16 +87,16 @@ func (sv *IPMSolver) AddColumn(cost float64, entries []Term) int {
 	// formNormal exploits ascending row order within each column.
 	sort.Slice(sv.entryBuf, func(a, b int) bool { return sv.entryBuf[a].Var < sv.entryBuf[b].Var })
 
-	col := column{rows: make([]int32, 0, len(sv.entryBuf)), vals: make([]float64, 0, len(sv.entryBuf))}
+	sv.rowBuf, sv.valBuf = sv.rowBuf[:0], sv.valBuf[:0]
 	for _, e := range sv.entryBuf {
-		if k := len(col.rows); k > 0 && col.rows[k-1] == int32(e.Var) {
-			col.vals[k-1] += e.Coef
+		if k := len(sv.rowBuf); k > 0 && sv.rowBuf[k-1] == int32(e.Var) {
+			sv.valBuf[k-1] += e.Coef
 			continue
 		}
-		col.rows = append(col.rows, int32(e.Var))
-		col.vals = append(col.vals, e.Coef)
+		sv.rowBuf = append(sv.rowBuf, int32(e.Var))
+		sv.valBuf = append(sv.valBuf, e.Coef)
 	}
-	ip.cols = append(ip.cols, col)
+	ip.mat.appendCol(sv.rowBuf, sv.valBuf)
 	ip.c = append(ip.c, cost)
 	ip.n++
 	// EQ-only problems carry no slack columns, so every standard-form
@@ -108,7 +110,7 @@ func (sv *IPMSolver) AddColumn(cost float64, entries []Term) int {
 		// post-pricing warm start wants it.
 		floor := sv.warmFloor()
 		sv.warmX = append(sv.warmX, floor)
-		slack := cost - dotSparse(sv.warmY, &col)
+		slack := cost - dotRange(sv.warmY, sv.rowBuf, sv.valBuf)
 		if slack < floor {
 			slack = floor
 		}
@@ -165,10 +167,23 @@ func (sv *IPMSolver) Solve() (*Solution, error) {
 	x := growFloats(sv.warmX, ip.n)
 	s := growFloats(sv.warmS, ip.n)
 	y := growFloats(sv.warmY, ip.m)
-	ip.defaultStart(x, y, s)
+	usedMehrotra := ip.mehrotraStart(x, y, s, sv.ws)
+	if !usedMehrotra {
+		ip.defaultStart(x, y, s)
+	}
 	sol, err := ip.run(x, y, s, sv.ws)
 	if err != nil {
 		return nil, err
+	}
+	if sol.Status != Optimal && usedMehrotra {
+		// The least-squares start is a heuristic; the uniform cold start
+		// remains the backstop so starting-point choice never changes an
+		// outcome.
+		ip.defaultStart(x, y, s)
+		sol, err = ip.run(x, y, s, sv.ws)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if sol.Status == Optimal {
 		sv.saveWarm(x, y, s)

@@ -219,6 +219,13 @@ type Options struct {
 	// iteration) and return Ctx.Err() as soon as it is done. Nil means
 	// run to completion.
 	Ctx context.Context
+	// NoPresolve skips the Presolve reduction pass that Solve and
+	// SolveIPM otherwise run first. The warm-start paths (Prepared,
+	// IPMSolver) never presolve — their compiled form must match the
+	// caller's row/column indices — so this flag exists for A/B
+	// comparisons (the presolve-invariance CI gate) and for callers that
+	// need the solver to see their exact formulation.
+	NoPresolve bool
 }
 
 func (o Options) withDefaults(m, n int) Options {
@@ -259,6 +266,11 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 			return nil, err
 		}
 	}
+	if !opts.NoPresolve {
+		if sol, done, err := solvePresolved(p, opts, Solve); done {
+			return sol, err
+		}
+	}
 	sol, err := newSimplex(p, opts).solve()
 	if err != nil || sol.Status != Optimal {
 		return sol, err
@@ -278,12 +290,6 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 	return sol, nil
 }
 
-// column is a sparse constraint-matrix column.
-type column struct {
-	rows []int32
-	vals []float64
-}
-
 // simplex carries the equality-form problem and the revised-simplex state.
 type simplex struct {
 	opt Options
@@ -291,7 +297,7 @@ type simplex struct {
 	m int // rows
 	n int // total columns incl. slack/surplus and artificials
 
-	cols []column  // A by column
+	mat  csc       // A by column, pooled CSC storage
 	b    []float64 // rhs, ≥ 0
 	cost []float64 // phase-2 costs (original objective; 0 for slack; +big for artificial — never negative reduced cost in phase 2 because banned)
 
@@ -312,10 +318,21 @@ type simplex struct {
 	// for them once; a Prepared instance reuses them across solves.
 	scratchY   []float64 // m: dual vector of the pricing pass
 	scratchDir []float64 // m: entering direction B⁻¹A_j
-	bmatBuf    []float64 // m×m: refactor's basis matrix
-	invBuf     []float64 // m×m: refactor's inversion target (swapped with binv)
-	p1Cost     []float64 // n: phase-1 cost vector (lazy)
-	banned     []bool    // n: phase-2 banned mask (lazy)
+	scratchAcc []float64 // n: y·A accumulator of the pricing pass
+
+	// CSR mirror of mat, rebuilt at the top of each iterate call (the
+	// matrix is static within a pivot loop but Prepared re-signs
+	// artificial columns between solves). Pricing sweeps it row-major:
+	// one pass over the nonzeros with streaming writes replaces n short
+	// column gathers whose per-column loop overhead dominated the scan.
+	rowPtr  []int32
+	rowCols []int32
+	rowVals []float64
+	rowNext []int32   // m: fill cursors for the CSR build
+	bmatBuf []float64 // m×m: refactor's basis matrix
+	invBuf  []float64 // m×m: refactor's inversion target (swapped with binv)
+	p1Cost  []float64 // n: phase-1 cost vector (lazy)
+	banned  []bool    // n: phase-2 banned mask (lazy)
 
 	pivots              int
 	sinceRefactor       int
@@ -378,22 +395,14 @@ func newSimplex(p *Problem, opts Options) *simplex {
 	}
 
 	// Column layout: [0..numOrig) originals, then slack/surplus, then
-	// artificials (allocated lazily below).
-	s.cols = make([]column, p.numVars, p.numVars+extra+m)
+	// artificials. The builder merges duplicate Var entries within a row
+	// and reserves pool headroom for the unit columns appended below.
+	rowFactor := make([]float64, m)
 	for i, c := range p.constraints {
-		f := float64(infos[i].sign) * s.rowScale[i]
-		s.b[i] = f * c.RHS
-		for _, t := range c.Terms {
-			col := &s.cols[t.Var]
-			// Merge duplicate Var entries within a row.
-			if k := len(col.rows); k > 0 && col.rows[k-1] == int32(i) {
-				col.vals[k-1] += f * t.Coef
-				continue
-			}
-			col.rows = append(col.rows, int32(i))
-			col.vals = append(col.vals, f*t.Coef)
-		}
+		rowFactor[i] = float64(infos[i].sign) * s.rowScale[i]
+		s.b[i] = rowFactor[i] * c.RHS
 	}
+	s.mat = newCSCBuilder(p.constraints, p.numVars, extra+m, rowFactor)
 
 	// Column equilibration on the original variables: x_j = scale_j·x'_j
 	// turns columns with uniformly tiny coefficients into unit-scale
@@ -401,20 +410,13 @@ func newSimplex(p *Problem, opts Options) *simplex {
 	// columns are already unit-scale.
 	s.colScale = make([]float64, p.numVars)
 	for j := range s.colScale {
-		maxAbs := 0.0
-		for _, v := range s.cols[j].vals {
-			if a := math.Abs(v); a > maxAbs {
-				maxAbs = a
-			}
-		}
+		maxAbs := s.mat.colMaxAbs(j)
 		if maxAbs == 0 {
 			s.colScale[j] = 1
 			continue
 		}
 		s.colScale[j] = 1 / maxAbs
-		for k := range s.cols[j].vals {
-			s.cols[j].vals[k] *= s.colScale[j]
-		}
+		s.mat.scaleCol(j, s.colScale[j])
 	}
 
 	// Slack / surplus columns; remember which rows get an identity start.
@@ -426,27 +428,24 @@ func newSimplex(p *Problem, opts Options) *simplex {
 	for i, info := range infos {
 		switch info.op {
 		case LE:
-			j := len(s.cols)
-			s.cols = append(s.cols, column{rows: []int32{int32(i)}, vals: []float64{1}})
+			j := s.mat.appendUnitCol(int32(i), 1)
 			basisOf[i] = j
 			slackRow = append(slackRow, i)
 		case GE:
-			s.cols = append(s.cols, column{rows: []int32{int32(i)}, vals: []float64{-1}})
+			s.mat.appendUnitCol(int32(i), -1)
 		}
 	}
 	_ = slackRow
 
 	// Artificial columns for rows without an identity start.
-	s.artStart = len(s.cols)
+	s.artStart = s.mat.numCols()
 	for i := 0; i < m; i++ {
 		if basisOf[i] >= 0 {
 			continue
 		}
-		j := len(s.cols)
-		s.cols = append(s.cols, column{rows: []int32{int32(i)}, vals: []float64{1}})
-		basisOf[i] = j
+		basisOf[i] = s.mat.appendUnitCol(int32(i), 1)
 	}
-	s.n = len(s.cols)
+	s.n = s.mat.numCols()
 
 	// Phase-2 cost vector, in the column-scaled variables.
 	s.cost = make([]float64, s.n)
@@ -662,12 +661,8 @@ func (s *simplex) evictArtificials() {
 // binvRowDotCol returns (B⁻¹ A_j)[i] without forming the full direction.
 func (s *simplex) binvRowDotCol(i, j int) float64 {
 	row := s.binv[i*s.m : (i+1)*s.m]
-	col := &s.cols[j]
-	v := 0.0
-	for k, r := range col.rows {
-		v += row[r] * col.vals[k]
-	}
-	return v
+	rows, vals := s.mat.col(j)
+	return dotRange(row, rows, vals)
 }
 
 // iterate runs simplex pivots under the given cost vector until optimal,
@@ -679,6 +674,7 @@ func (s *simplex) iterate(cost []float64, banned []bool) Status {
 	useBland := false
 	y := s.scratchY
 	dir := s.scratchDir
+	s.buildCSR()
 
 	// Stall detection: perturbation can turn exactly-degenerate pivots
 	// into micro-steps that never register as degenerate yet make no
@@ -726,22 +722,42 @@ func (s *simplex) iterate(cost []float64, banned []bool) Status {
 
 		s.dualInto(cost, y)
 
-		// Pricing.
+		// Pricing: accumulate y·A in one row-major sweep, then scan the
+		// candidates. Per column the products arrive in the same
+		// ascending-row order the old per-column gather used, so every
+		// reduced cost — and hence every pivot choice — is bit-identical.
+		s.accumPriceInto(y)
+		acc := s.scratchAcc
 		enter := -1
 		best := -tol
-		for j := 0; j < s.n; j++ {
-			if s.inBase[j] || (banned != nil && banned[j]) {
-				continue
-			}
-			rc := cost[j] - dotSparse(y, &s.cols[j])
-			if useBland {
-				if rc < -tol {
-					enter = j
-					break
+		if !useBland && banned == nil {
+			// Hot path: the Dantzig scan with the per-column ban and
+			// Bland branches hoisted out. Same candidates in the same
+			// order, so the pivot choice is identical.
+			for j := 0; j < s.n; j++ {
+				if s.inBase[j] {
+					continue
 				}
-			} else if rc < best {
-				best = rc
-				enter = j
+				if rc := cost[j] - acc[j]; rc < best {
+					best = rc
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < s.n; j++ {
+				if s.inBase[j] || (banned != nil && banned[j]) {
+					continue
+				}
+				rc := cost[j] - acc[j]
+				if useBland {
+					if rc < -tol {
+						enter = j
+						break
+					}
+				} else if rc < best {
+					best = rc
+					enter = j
+				}
 			}
 		}
 		if enter < 0 {
@@ -913,9 +929,9 @@ func (s *simplex) refactor() bool {
 		bmat[i] = 0
 	}
 	for i, j := range s.basis {
-		col := &s.cols[j]
-		for k, r := range col.rows {
-			bmat[int(r)*m+i] = col.vals[k]
+		rows, vals := s.mat.col(j)
+		for k, r := range rows {
+			bmat[int(r)*m+i] = vals[k]
 		}
 	}
 	ok := invertDenseInto(bmat, s.invBuf, m)
@@ -951,28 +967,84 @@ func (s *simplex) dualInto(cost []float64, y []float64) {
 	}
 }
 
+// buildCSR refreshes the row-major mirror of mat used by the pricing
+// sweep. O(nnz), called once per iterate — negligible next to the pivot
+// loop — and necessary there because Prepared flips artificial-column
+// signs between solves.
+func (s *simplex) buildCSR() {
+	m, nnz := s.m, s.mat.nnz()
+	if cap(s.rowPtr) < m+1 {
+		s.rowPtr = make([]int32, m+1)
+		s.rowNext = make([]int32, m)
+	}
+	s.rowPtr, s.rowNext = s.rowPtr[:m+1], s.rowNext[:m]
+	if cap(s.rowCols) < nnz {
+		s.rowCols = make([]int32, nnz, nnz+nnz/2)
+		s.rowVals = make([]float64, nnz, nnz+nnz/2)
+	}
+	s.rowCols, s.rowVals = s.rowCols[:nnz], s.rowVals[:nnz]
+	if cap(s.scratchAcc) < s.n {
+		s.scratchAcc = make([]float64, s.n, s.n+s.n/2)
+	}
+	s.scratchAcc = s.scratchAcc[:s.n]
+
+	cnt := s.rowPtr
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for _, r := range s.mat.rows {
+		cnt[r+1]++
+	}
+	for i := 0; i < m; i++ {
+		cnt[i+1] += cnt[i]
+	}
+	copy(s.rowNext, cnt[:m])
+	// Columns are visited ascending, so each row's entries land in
+	// ascending column order and the pricing writes stream.
+	for j := 0; j < s.n; j++ {
+		lo, hi := s.mat.colPtr[j], s.mat.colPtr[j+1]
+		for k := lo; k < hi; k++ {
+			r := s.mat.rows[k]
+			p := s.rowNext[r]
+			s.rowCols[p] = int32(j)
+			s.rowVals[p] = s.mat.vals[k]
+			s.rowNext[r] = p + 1
+		}
+	}
+}
+
+// accumPriceInto fills scratchAcc[j] = y · A_j by sweeping the CSR
+// mirror row-major. Rows with a zero multiplier are skipped: their
+// products are exact zeros, so the accumulated values match the
+// per-column gather bit for bit.
+func (s *simplex) accumPriceInto(y []float64) {
+	acc := s.scratchAcc
+	for j := range acc {
+		acc[j] = 0
+	}
+	rowPtr, rowCols, rowVals := s.rowPtr, s.rowCols, s.rowVals
+	for i := 0; i < s.m; i++ {
+		yi := y[i]
+		if yi == 0 {
+			continue
+		}
+		lo, hi := rowPtr[i], rowPtr[i+1]
+		cols, vals := rowCols[lo:hi], rowVals[lo:hi]
+		for k, c := range cols {
+			acc[c] += yi * vals[k]
+		}
+	}
+}
+
 // directionInto fills d = B⁻¹ A_j, walking binv row-major so the column
 // gather stays cache-friendly.
 func (s *simplex) directionInto(j int, d []float64) {
 	m := s.m
-	col := &s.cols[j]
-	rows, vals := col.rows, col.vals
+	rows, vals := s.mat.col(j)
 	for i := 0; i < m; i++ {
 		row := s.binv[i*m : (i+1)*m]
-		v := 0.0
-		for k, r := range rows {
-			v += row[r] * vals[k]
-		}
-		d[i] = v
+		d[i] = dotRange(row, rows, vals)
 	}
-}
-
-func dotSparse(y []float64, col *column) float64 {
-	v := 0.0
-	for k, r := range col.rows {
-		v += y[r] * col.vals[k]
-	}
-	return v
 }
 
 // invertDense inverts an m×m row-major matrix with Gauss-Jordan

@@ -1,0 +1,236 @@
+package lp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteMPS renders the problem in free-format MPS so it can be archived
+// and cross-checked against external solvers. The encoding is canonical:
+// rows are named R0..R{m−1} in constraint order, columns X0..X{n−1},
+// entries are written column-major sorted by row with duplicate terms
+// summed, coefficients use the shortest exact decimal form, and every
+// column carries an explicit OBJ entry (even a zero one) so the variable
+// count survives a round trip. ParseMPS(WriteMPS(p)) reproduces p up to
+// term ordering, and re-writing that parse reproduces the bytes exactly.
+//
+// The problem's implicit bounds (x ≥ 0, no upper bound) coincide with
+// the MPS default, so no BOUNDS section is emitted.
+func WriteMPS(w io.Writer, p *Problem, name string) error {
+	bw := bufio.NewWriter(w)
+	if name == "" {
+		name = "LP"
+	}
+	fmt.Fprintf(bw, "NAME          %s\n", name)
+	bw.WriteString("ROWS\n")
+	bw.WriteString(" N  OBJ\n")
+	for i, c := range p.constraints {
+		var letter byte
+		switch c.Op {
+		case LE:
+			letter = 'L'
+		case GE:
+			letter = 'G'
+		case EQ:
+			letter = 'E'
+		default:
+			return fmt.Errorf("lp: WriteMPS: row %d has invalid operator %v", i, c.Op)
+		}
+		fmt.Fprintf(bw, " %c  R%d\n", letter, i)
+	}
+
+	// Column-major view with duplicate (row, col) terms summed.
+	type entry struct {
+		row  int
+		coef float64
+	}
+	cols := make([][]entry, p.numVars)
+	for ri, c := range p.constraints {
+		for _, t := range c.Terms {
+			cols[t.Var] = append(cols[t.Var], entry{row: ri, coef: t.Coef})
+		}
+	}
+	bw.WriteString("COLUMNS\n")
+	for j := 0; j < p.numVars; j++ {
+		cn := "X" + strconv.Itoa(j)
+		fmt.Fprintf(bw, "    %-10s %-10s %s\n", cn, "OBJ", fmtMPS(p.objective[j]))
+		es := cols[j]
+		sort.Slice(es, func(a, b int) bool { return es[a].row < es[b].row })
+		for i := 0; i < len(es); {
+			row, sum := es[i].row, es[i].coef
+			for i++; i < len(es) && es[i].row == row; i++ {
+				sum += es[i].coef
+			}
+			if sum == 0 {
+				continue
+			}
+			fmt.Fprintf(bw, "    %-10s %-10s %s\n", cn, "R"+strconv.Itoa(row), fmtMPS(sum))
+		}
+	}
+	bw.WriteString("RHS\n")
+	for i, c := range p.constraints {
+		if c.RHS == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "    %-10s %-10s %s\n", "RHS", "R"+strconv.Itoa(i), fmtMPS(c.RHS))
+	}
+	bw.WriteString("ENDATA\n")
+	return bw.Flush()
+}
+
+// fmtMPS renders a coefficient in the shortest decimal form that parses
+// back to the identical float64.
+func fmtMPS(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// mpsRow is a parsed ROWS entry before the Problem is assembled.
+type mpsRow struct {
+	op    Op
+	rhs   float64
+	terms []Term
+}
+
+// ParseMPS reads a free-format MPS model (the subset WriteMPS emits:
+// NAME/ROWS/COLUMNS/RHS/ENDATA with a single objective row and default
+// bounds) and returns it as a Problem. Variables are numbered in the
+// order COLUMNS first mentions them; rows keep their ROWS-section order.
+// RANGES, BOUNDS, integer markers and negative lower bounds are not
+// representable in Problem and are rejected rather than misread.
+func ParseMPS(r io.Reader) (*Problem, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+
+	var objName string
+	rowIdx := make(map[string]int)
+	var rows []mpsRow
+	colIdx := make(map[string]int)
+	var colNames []string
+	var objCoef []float64
+	section := ""
+	sawEnd := false
+
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "*") {
+			continue
+		}
+		if sawEnd {
+			break
+		}
+		// Section headers start in column 1; data lines are indented.
+		if !strings.HasPrefix(line, " ") && !strings.HasPrefix(line, "\t") {
+			fields := strings.Fields(trimmed)
+			section = strings.ToUpper(fields[0])
+			switch section {
+			case "NAME", "ROWS", "COLUMNS", "RHS", "OBJSENSE":
+			case "ENDATA":
+				sawEnd = true
+			case "RANGES", "BOUNDS":
+				return nil, fmt.Errorf("lp: ParseMPS: %s section not supported", section)
+			default:
+				return nil, fmt.Errorf("lp: ParseMPS: unknown section %q", section)
+			}
+			continue
+		}
+		fields := strings.Fields(trimmed)
+		switch section {
+		case "ROWS":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("lp: ParseMPS: malformed ROWS line %q", trimmed)
+			}
+			kind, name := strings.ToUpper(fields[0]), fields[1]
+			if _, dup := rowIdx[name]; dup || name == objName {
+				return nil, fmt.Errorf("lp: ParseMPS: duplicate row %q", name)
+			}
+			switch kind {
+			case "N":
+				if objName != "" {
+					return nil, fmt.Errorf("lp: ParseMPS: multiple objective rows (%q, %q)", objName, name)
+				}
+				objName = name
+			case "L":
+				rowIdx[name] = len(rows)
+				rows = append(rows, mpsRow{op: LE})
+			case "G":
+				rowIdx[name] = len(rows)
+				rows = append(rows, mpsRow{op: GE})
+			case "E":
+				rowIdx[name] = len(rows)
+				rows = append(rows, mpsRow{op: EQ})
+			default:
+				return nil, fmt.Errorf("lp: ParseMPS: unknown row type %q", kind)
+			}
+		case "COLUMNS":
+			if len(fields) >= 3 && strings.ToUpper(fields[1]) == "'MARKER'" {
+				return nil, fmt.Errorf("lp: ParseMPS: integer markers not supported")
+			}
+			if len(fields) < 3 || len(fields)%2 == 0 {
+				return nil, fmt.Errorf("lp: ParseMPS: malformed COLUMNS line %q", trimmed)
+			}
+			cn := fields[0]
+			j, ok := colIdx[cn]
+			if !ok {
+				j = len(colNames)
+				colIdx[cn] = j
+				colNames = append(colNames, cn)
+				objCoef = append(objCoef, 0)
+			}
+			for f := 1; f+1 < len(fields); f += 2 {
+				v, err := strconv.ParseFloat(fields[f+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("lp: ParseMPS: bad coefficient %q: %w", fields[f+1], err)
+				}
+				if fields[f] == objName {
+					objCoef[j] += v
+					continue
+				}
+				ri, ok := rowIdx[fields[f]]
+				if !ok {
+					return nil, fmt.Errorf("lp: ParseMPS: column %q references unknown row %q", cn, fields[f])
+				}
+				rows[ri].terms = append(rows[ri].terms, Term{Var: j, Coef: v})
+			}
+		case "RHS":
+			if len(fields) < 3 || len(fields)%2 == 0 {
+				return nil, fmt.Errorf("lp: ParseMPS: malformed RHS line %q", trimmed)
+			}
+			for f := 1; f+1 < len(fields); f += 2 {
+				v, err := strconv.ParseFloat(fields[f+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("lp: ParseMPS: bad RHS value %q: %w", fields[f+1], err)
+				}
+				if fields[f] == objName {
+					return nil, fmt.Errorf("lp: ParseMPS: objective constant not supported")
+				}
+				ri, ok := rowIdx[fields[f]]
+				if !ok {
+					return nil, fmt.Errorf("lp: ParseMPS: RHS references unknown row %q", fields[f])
+				}
+				rows[ri].rhs += v
+			}
+		case "NAME", "OBJSENSE", "":
+			// NAME has no data lines in our dialect; tolerate and skip.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("lp: ParseMPS: %w", err)
+	}
+	if !sawEnd {
+		return nil, fmt.Errorf("lp: ParseMPS: missing ENDATA")
+	}
+	if len(colNames) == 0 {
+		return nil, fmt.Errorf("lp: ParseMPS: model has no columns")
+	}
+	p := NewProblem(len(colNames))
+	p.SetObjective(objCoef)
+	for _, row := range rows {
+		p.AddConstraint(row.terms, row.op, row.rhs)
+	}
+	return p, nil
+}

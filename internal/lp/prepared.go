@@ -52,13 +52,13 @@ func (b *Basis) Len() int {
 // goroutine its own (bases may be shared across workers as long as the
 // rounds are externally synchronised).
 type Prepared struct {
-	s       *simplex
-	pertU   []float64 // per-row anti-cycling factor in (0.5, 1.5)
-	bPert   []float64 // perturbed scaled rhs installed at solve start
-	initialBasis []int // the all-artificial cold-start basis
+	s            *simplex
+	pertU        []float64 // per-row anti-cycling factor in (0.5, 1.5)
+	bPert        []float64 // perturbed scaled rhs installed at solve start
+	initialBasis []int     // the all-artificial cold-start basis
 
-	sol      Solution // reused result; invalidated by the next solve
-	haveOpt  bool     // last solve ended Optimal (Basis is meaningful)
+	sol     Solution // reused result; invalidated by the next solve
+	haveOpt bool     // last solve ended Optimal (Basis is meaningful)
 }
 
 // Prepare compiles the problem for repeated warm-started solves.
@@ -100,53 +100,36 @@ func Prepare(p *Problem, opts Options) (*Prepared, error) {
 			extra++
 		}
 	}
-	s.cols = make([]column, p.numVars, p.numVars+extra+m)
 	for i, c := range p.constraints {
-		f := s.rowScale[i]
-		s.b[i] = f * c.RHS
-		for _, t := range c.Terms {
-			col := &s.cols[t.Var]
-			if k := len(col.rows); k > 0 && col.rows[k-1] == int32(i) {
-				col.vals[k-1] += f * t.Coef
-				continue
-			}
-			col.rows = append(col.rows, int32(i))
-			col.vals = append(col.vals, f*t.Coef)
-		}
+		s.b[i] = s.rowScale[i] * c.RHS
 	}
+	s.mat = newCSCBuilder(p.constraints, p.numVars, extra+m, s.rowScale)
 
 	// Column equilibration on the original variables.
 	s.colScale = make([]float64, p.numVars)
 	for j := range s.colScale {
-		maxAbs := 0.0
-		for _, v := range s.cols[j].vals {
-			if a := math.Abs(v); a > maxAbs {
-				maxAbs = a
-			}
-		}
+		maxAbs := s.mat.colMaxAbs(j)
 		if maxAbs == 0 {
 			s.colScale[j] = 1
 			continue
 		}
 		s.colScale[j] = 1 / maxAbs
-		for k := range s.cols[j].vals {
-			s.cols[j].vals[k] *= s.colScale[j]
-		}
+		s.mat.scaleCol(j, s.colScale[j])
 	}
 
 	for i, c := range p.constraints {
 		switch c.Op {
 		case LE:
-			s.cols = append(s.cols, column{rows: []int32{int32(i)}, vals: []float64{1}})
+			s.mat.appendUnitCol(int32(i), 1)
 		case GE:
-			s.cols = append(s.cols, column{rows: []int32{int32(i)}, vals: []float64{-1}})
+			s.mat.appendUnitCol(int32(i), -1)
 		}
 	}
-	s.artStart = len(s.cols)
+	s.artStart = s.mat.numCols()
 	for i := 0; i < m; i++ {
-		s.cols = append(s.cols, column{rows: []int32{int32(i)}, vals: []float64{1}})
+		s.mat.appendUnitCol(int32(i), 1)
 	}
-	s.n = len(s.cols)
+	s.n = s.mat.numCols()
 
 	s.cost = make([]float64, s.n)
 	for j := 0; j < p.numVars; j++ {
@@ -289,7 +272,8 @@ func (pp *Prepared) installArtificialSigns() {
 		if s.b[i] < 0 {
 			sign = -1
 		}
-		s.cols[s.artStart+i].vals[0] = sign
+		_, vals := s.mat.col(s.artStart + i)
+		vals[0] = sign
 	}
 }
 
@@ -308,7 +292,8 @@ func (pp *Prepared) resetCold() {
 		j := pp.initialBasis[i]
 		s.basis[i] = j
 		s.inBase[j] = true
-		sign := s.cols[s.artStart+i].vals[0]
+		_, avals := s.mat.col(s.artStart + i)
+		sign := avals[0]
 		s.binv[i*m+i] = sign
 		s.xb[i] = sign * s.b[i]
 	}
@@ -403,19 +388,18 @@ func (s *simplex) dualIterate(cost []float64, banned []bool, maxPivots int) Stat
 		enter := -1
 		bestRatio := math.Inf(1)
 		bestAlpha := 0.0
+		colPtr, colRows, colVals := s.mat.colPtr, s.mat.rows, s.mat.vals
 		for j := 0; j < s.n; j++ {
 			if s.inBase[j] || (banned != nil && banned[j]) {
 				continue
 			}
-			col := &s.cols[j]
-			alpha := 0.0
-			for k, r := range col.rows {
-				alpha += lrow[r] * col.vals[k]
-			}
+			lo, hi := colPtr[j], colPtr[j+1]
+			rows, vals := colRows[lo:hi], colVals[lo:hi]
+			alpha := dotRange(lrow, rows, vals)
 			if alpha >= -1e-9 {
 				continue
 			}
-			rc := cost[j] - dotSparse(y, col)
+			rc := cost[j] - dotRange(y, rows, vals)
 			if rc < -rcTol {
 				// The restored basis is not dual feasible after all
 				// (objective must have changed too): dual pivoting would

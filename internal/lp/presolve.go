@@ -1,0 +1,684 @@
+package lp
+
+import (
+	"math"
+	"sort"
+)
+
+// Presolve tolerances. Reductions are only applied when they are safe at
+// the solver's own feasibility tolerance: a borderline row (one whose
+// redundancy or inconsistency is within presolveTol of the boundary) is
+// passed through untouched and left for the simplex/IPM to adjudicate,
+// so presolve can narrow the problem but never flip its outcome.
+const presolveTol = 1e-9
+
+// PresolveStats reports how much of the problem the presolve pass
+// removed. Ratios are with respect to the original problem.
+type PresolveStats struct {
+	Rows, Cols, Nnz                      int // original problem size
+	RowsRemoved, ColsRemoved, NnzRemoved int
+}
+
+// rowFate says how the dual of an original row is recovered after the
+// reduced problem is solved.
+type rowFate int8
+
+const (
+	rowKept   rowFate = iota // dual comes from the reduced solution
+	rowZero                  // row proved redundant; dual 0 is optimal
+	rowReplay                // singleton-EQ elimination; dual reconstructed
+)
+
+// elimRec records one fixed-variable elimination (a singleton equality
+// row a·x_j = rhs fixing x_j = rhs/a) for the postsolve replay.
+type elimRec struct {
+	row int     // original row index
+	col int     // original variable index
+	val float64 // fixed value of the variable
+}
+
+// Presolved is the outcome of Presolve: a reduced problem plus the map
+// that restores a full solution. When the pass finds nothing to remove,
+// Reduced returns the original *Problem pointer and Postsolve is the
+// identity, so presolve is bit-exact on irreducible instances — the
+// served mechanisms and their digests cannot change.
+type Presolved struct {
+	orig       *Problem
+	red        *Problem
+	infeasible bool
+	changed    bool
+
+	offset  float64   // objective constant from fixed variables
+	fixed   []bool    // per original variable
+	fixVal  []float64 // value of each fixed variable
+	colMap  []int32   // reduced column -> original column
+	rowMap  []int32   // reduced row -> original row
+	rowFate []rowFate // per original row
+	elims   []elimRec // in elimination order
+
+	stats PresolveStats
+}
+
+// Infeasible reports that presolve proved the problem infeasible (a row
+// inconsistent on its own, beyond the solver tolerance). The reduced
+// problem is meaningless in that case.
+func (ps *Presolved) Infeasible() bool { return ps.infeasible }
+
+// Reduced returns the problem to hand to the solver. It is the original
+// problem itself (same pointer) when no reduction applied.
+func (ps *Presolved) Reduced() *Problem { return ps.red }
+
+// DidReduce reports whether any reduction applied.
+func (ps *Presolved) DidReduce() bool { return ps.changed }
+
+// Stats returns the reduction counters.
+func (ps *Presolved) Stats() PresolveStats { return ps.stats }
+
+// TrivialSolution returns the full solution directly when the reduced
+// problem has no constraints left (so min c·x with x ≥ 0 is solved by
+// inspection), and ok=false otherwise. The eliminations that emptied the
+// row set each verified their own consistency, so the original problem
+// is feasible; a remaining negative cost therefore certifies Unbounded.
+func (ps *Presolved) TrivialSolution() (*Solution, bool) {
+	if ps.infeasible || !ps.changed || ps.red.NumConstraints() != 0 {
+		return nil, false
+	}
+	for _, c := range ps.red.objective {
+		if c < 0 {
+			return &Solution{Status: Unbounded}, true
+		}
+	}
+	zero := &Solution{
+		Status: Optimal,
+		X:      make([]float64, ps.red.numVars),
+		Duals:  []float64{},
+	}
+	return ps.Postsolve(zero), true
+}
+
+// Postsolve lifts a solution of the reduced problem back to the original
+// problem: fixed variables get their values, eliminated singleton-EQ
+// rows get duals reconstructed from dual stationarity of their fixed
+// column (c_j − Σ_r y_r a_rj = 0, solved for the eliminated row's y and
+// replayed in reverse elimination order so every other dual in the sum
+// is already known), and redundant rows keep the dual 0 that certified
+// their redundancy. Non-optimal statuses pass through unchanged. When
+// presolve found no reduction, sol is returned as-is.
+func (ps *Presolved) Postsolve(sol *Solution) *Solution {
+	if !ps.changed {
+		return sol
+	}
+	if sol.Status != Optimal {
+		return &Solution{Status: sol.Status, Iterations: sol.Iterations}
+	}
+	full := &Solution{
+		Status:     Optimal,
+		Objective:  sol.Objective + ps.offset,
+		X:          make([]float64, ps.orig.numVars),
+		Duals:      make([]float64, len(ps.orig.constraints)),
+		Iterations: sol.Iterations,
+	}
+	for rj, oj := range ps.colMap {
+		full.X[oj] = sol.X[rj]
+	}
+	for j, ok := range ps.fixed {
+		if ok {
+			full.X[j] = ps.fixVal[j]
+		}
+	}
+	for ri, oi := range ps.rowMap {
+		full.Duals[oi] = sol.Duals[ri]
+	}
+	// rowZero rows stay at 0. Replay the eliminations newest-first: a row
+	// containing an eliminated variable is either the eliminating row
+	// itself, a surviving row, a redundant row, or a row eliminated
+	// *later* (an earlier singleton could not have contained a variable
+	// that was still free), so reverse order visits every needed dual
+	// after it is known.
+	if len(ps.elims) > 0 {
+		cols := ps.origColumns()
+		for t := len(ps.elims) - 1; t >= 0; t-- {
+			e := ps.elims[t]
+			num := ps.orig.objective[e.col]
+			var diag float64
+			for _, ent := range cols[e.col] {
+				if int(ent.Var) == e.row {
+					diag = ent.Coef
+					continue
+				}
+				num -= full.Duals[ent.Var] * ent.Coef
+			}
+			full.Duals[e.row] = num / diag
+		}
+	}
+	return full
+}
+
+// origColumns builds, for every variable that appears in an elimination
+// record, its column of the ORIGINAL constraint matrix (duplicate terms
+// summed) as (row, coef) pairs. Dual stationarity is a statement about
+// the original data, not the partially reduced rows.
+func (ps *Presolved) origColumns() map[int][]Term {
+	need := make(map[int][]Term, len(ps.elims))
+	for _, e := range ps.elims {
+		need[e.col] = nil
+	}
+	for ri, row := range ps.orig.constraints {
+		for _, t := range row.Terms {
+			if lst, ok := need[t.Var]; ok {
+				n := len(lst)
+				if n > 0 && lst[n-1].Var == ri {
+					lst[n-1].Coef += t.Coef
+				} else {
+					lst = append(lst, Term{Var: ri, Coef: t.Coef})
+				}
+				need[t.Var] = lst
+			}
+		}
+	}
+	return need
+}
+
+// presRow is a mutable working copy of one constraint: terms are
+// deduplicated (repeated Var summed), zero coefficients dropped, and
+// sorted by variable.
+type presRow struct {
+	terms []Term
+	op    Op
+	rhs   float64
+	alive bool
+}
+
+// Presolve runs a fixpoint of safe reductions over the problem:
+//
+//   - empty rows are dropped when trivially satisfied (or prove the
+//     problem infeasible when violated beyond tolerance),
+//   - singleton equality rows fix their variable, which is substituted
+//     out of every other row and the objective,
+//   - singleton inequality rows that every x ≥ 0 satisfies are dropped,
+//     and the upper bounds the kept ones imply are recorded,
+//   - rows whose worst-case activity under those bounds cannot violate
+//     them are dropped (bound-tightening redundancy),
+//   - duplicate rows (bitwise-identical coefficients) collapse to the
+//     tighter copy,
+//   - empty columns with non-negative cost are fixed at 0, and duplicate
+//     columns (bitwise-identical entries) fix the costlier copy at 0.
+//
+// Every reduction preserves at least one optimal solution and admits an
+// exactly reconstructible optimal dual, so Postsolve returns a solution
+// of the original problem that is optimal to the solver's tolerance.
+// Reductions near a tolerance boundary are skipped rather than guessed.
+func Presolve(p *Problem) *Presolved {
+	m := len(p.constraints)
+	n := p.numVars
+	ps := &Presolved{
+		orig:    p,
+		red:     p,
+		fixed:   make([]bool, n),
+		fixVal:  make([]float64, n),
+		rowFate: make([]rowFate, m),
+	}
+
+	rows := make([]presRow, m)
+	origNnz := 0
+	for _, c := range p.constraints {
+		origNnz += len(c.Terms)
+	}
+	// One backing array for every row's working copy: presolve only ever
+	// shrinks a row in place, so the rows can share storage (each slice
+	// is capacity-clamped to its own region).
+	backing := make([]Term, 0, origNnz)
+	for i, c := range p.constraints {
+		start := len(backing)
+		backing = append(backing, c.Terms...)
+		terms := backing[start:len(backing):len(backing)]
+		// Fast path: strictly increasing variables means sorted, no
+		// duplicates and (checked below) usually no zeros — the common
+		// shape for solver-built rows, handled without sorting.
+		clean := true
+		for k := range terms {
+			if terms[k].Coef == 0 || (k > 0 && terms[k].Var <= terms[k-1].Var) {
+				clean = false
+				break
+			}
+		}
+		if !clean {
+			sort.Slice(terms, func(a, b int) bool { return terms[a].Var < terms[b].Var })
+			dst := terms[:0]
+			for _, t := range terms {
+				if len(dst) > 0 && dst[len(dst)-1].Var == t.Var {
+					dst[len(dst)-1].Coef += t.Coef
+				} else {
+					dst = append(dst, t)
+				}
+			}
+			kept := dst[:0]
+			for _, t := range dst {
+				if t.Coef != 0 {
+					kept = append(kept, t)
+				}
+			}
+			terms = kept
+		}
+		rows[i] = presRow{terms: terms, op: c.Op, rhs: c.RHS, alive: true}
+	}
+	ps.stats = PresolveStats{Rows: m, Cols: n, Nnz: origNnz}
+
+	colAlive := make([]bool, n)
+	for j := range colAlive {
+		colAlive[j] = true
+	}
+	// Upper bounds implied by kept singleton inequality rows (math.Inf
+	// when none). Bounds only come from rows the reduced problem keeps,
+	// so redundancy proved against them survives the reduction.
+	ub := make([]float64, n)
+	for j := range ub {
+		ub[j] = math.Inf(1)
+	}
+
+	// fix eliminates variable j at value v: the objective absorbs c_j·v
+	// and every remaining row absorbs a_rj·v into its right-hand side.
+	fix := func(j int, v float64, elimRow int) {
+		colAlive[j] = false
+		ps.fixed[j] = true
+		ps.fixVal[j] = v
+		ps.offset += p.objective[j] * v
+		if elimRow >= 0 {
+			ps.elims = append(ps.elims, elimRec{row: elimRow, col: j, val: v})
+		}
+		for ri := range rows {
+			r := &rows[ri]
+			if !r.alive {
+				continue
+			}
+			for ti, t := range r.terms {
+				if t.Var == j {
+					r.rhs -= t.Coef * v
+					r.terms = append(r.terms[:ti], r.terms[ti+1:]...)
+					break
+				}
+			}
+		}
+	}
+
+	changed := true
+	for changed {
+		changed = false
+
+		// Bound sweep: collect every upper bound the current singleton
+		// inequality rows imply before any redundancy check runs, so a
+		// bound discovered late in the row order still serves checks on
+		// earlier rows within the same pass.
+		for ri := range rows {
+			r := &rows[ri]
+			if !r.alive || len(r.terms) != 1 {
+				continue
+			}
+			t := r.terms[0]
+			if (r.op == LE && t.Coef > 0) || (r.op == GE && t.Coef < 0) {
+				if bnd := r.rhs / t.Coef; bnd < ub[t.Var] {
+					ub[t.Var] = bnd
+				}
+			}
+		}
+
+		// Row rules: empty, singleton, bound-redundant.
+		for ri := range rows {
+			r := &rows[ri]
+			if !r.alive {
+				continue
+			}
+			switch len(r.terms) {
+			case 0:
+				var violated bool
+				switch r.op {
+				case LE:
+					violated = r.rhs < -presolveTol
+				case GE:
+					violated = r.rhs > presolveTol
+				case EQ:
+					violated = math.Abs(r.rhs) > presolveTol
+				}
+				if violated {
+					ps.infeasible = true
+					return ps
+				}
+				r.alive = false
+				ps.rowFate[ri] = rowZero
+				changed = true
+			case 1:
+				t := r.terms[0]
+				bnd := r.rhs / t.Coef
+				switch {
+				case r.op == EQ:
+					if bnd < -presolveTol {
+						ps.infeasible = true
+						return ps
+					}
+					if bnd < 0 {
+						continue // borderline: let the solver decide
+					}
+					r.alive = false
+					ps.rowFate[ri] = rowReplay
+					fix(t.Var, bnd, ri)
+					changed = true
+				case (r.op == LE && t.Coef > 0) || (r.op == GE && t.Coef < 0):
+					// x_j ≤ bnd: an upper bound (recorded by the sweep above).
+					if bnd < -presolveTol {
+						ps.infeasible = true
+						return ps
+					}
+				default:
+					// x_j ≥ bnd: redundant against x ≥ 0 when bnd ≤ 0.
+					if bnd <= 0 {
+						r.alive = false
+						ps.rowFate[ri] = rowZero
+						changed = true
+					}
+				}
+			default:
+				// Bound-tightening redundancy: compare the row's extreme
+				// activity over {0 ≤ x ≤ ub} to its right-hand side.
+				// Singletons are skipped — they are the bound providers.
+				if r.op == EQ {
+					continue
+				}
+				ext := 0.0
+				provable := true
+				for _, t := range r.terms {
+					worst := t.Coef > 0
+					if r.op == GE {
+						worst = !worst
+					}
+					if worst {
+						// This variable pushes toward violation; it needs a
+						// finite bound for the proof to close.
+						u := ub[t.Var]
+						if math.IsInf(u, 1) {
+							provable = false
+							break
+						}
+						ext += t.Coef * u
+					}
+				}
+				if !provable {
+					continue
+				}
+				if (r.op == LE && ext <= r.rhs) || (r.op == GE && ext >= r.rhs) {
+					r.alive = false
+					ps.rowFate[ri] = rowZero
+					changed = true
+				}
+			}
+		}
+
+		// Duplicate rows: bitwise-identical supports collapse to the
+		// tighter copy; the dropped copy's dual-0 stays optimal because
+		// the kept copy is at least as binding. Equality duplicates only
+		// collapse on a bitwise-equal right-hand side — a float mismatch
+		// is left for the solver, never declared infeasible here.
+		// Candidates are found by a 64-bit content hash and confirmed by
+		// an exact term-by-term comparison, so no byte keys are built; a
+		// true hash collision merely hides a reduction, never applies a
+		// wrong one.
+		seen := make(map[uint64]int, m)
+		for ri := range rows {
+			r := &rows[ri]
+			if !r.alive || len(r.terms) == 0 {
+				continue
+			}
+			h := rowHash(r)
+			prev, dup := seen[h]
+			if !dup {
+				seen[h] = ri
+				continue
+			}
+			pr := &rows[prev]
+			if !sameSupport(pr, r) {
+				continue
+			}
+			// The survivor must be the copy whose own right-hand side is
+			// the tight one: its dual comes from the reduced solve, and
+			// complementary slackness only holds on the row that binds.
+			// The looser copy is slack at any feasible point, so dual 0
+			// is exact for it.
+			switch r.op {
+			case EQ:
+				if math.Float64bits(pr.rhs) == math.Float64bits(r.rhs) {
+					r.alive = false
+					ps.rowFate[ri] = rowZero
+					changed = true
+				}
+			case LE, GE:
+				loser := r
+				loserIdx := ri
+				if (r.op == LE && r.rhs < pr.rhs) || (r.op == GE && r.rhs > pr.rhs) {
+					loser, loserIdx = pr, prev
+					seen[h] = ri
+				}
+				loser.alive = false
+				ps.rowFate[loserIdx] = rowZero
+				changed = true
+			}
+		}
+
+		// Column rules: empty columns with non-negative cost fix at 0
+		// (negative-cost empty columns stay — the solver proves Unbounded
+		// only after establishing feasibility); duplicate columns fix the
+		// costlier copy at 0 (mass shifts to the cheaper twin without
+		// changing any row activity, and its reduced cost stays ≥ the
+		// twin's, so dual feasibility survives).
+		occ := make([]int, n)
+		for ri := range rows {
+			if !rows[ri].alive {
+				continue
+			}
+			for _, t := range rows[ri].terms {
+				occ[t.Var]++
+			}
+		}
+		for j := 0; j < n; j++ {
+			if colAlive[j] && occ[j] == 0 && p.objective[j] >= 0 {
+				fix(j, 0, -1)
+				changed = true
+			}
+		}
+		// Duplicate columns are likewise hash-detected (the per-column
+		// hash folds in (row, coefbits) in row order, identical for true
+		// twins) and confirmed by comparing the two columns' entries
+		// across every alive row before anything is fixed.
+		colSeen := make(map[uint64]int, n)
+		colHash := buildColHashes(rows, colAlive, n)
+		for j := 0; j < n; j++ {
+			if !colAlive[j] || occ[j] == 0 {
+				continue
+			}
+			prev, dup := colSeen[colHash[j]]
+			if !dup {
+				colSeen[colHash[j]] = j
+				continue
+			}
+			if !sameColumn(rows, prev, j) {
+				continue
+			}
+			drop := j
+			if p.objective[j] < p.objective[prev] {
+				drop = prev
+				colSeen[colHash[j]] = j
+			}
+			fix(drop, 0, -1)
+			changed = true
+		}
+
+		if changed {
+			ps.changed = true
+		}
+	}
+
+	if !ps.changed {
+		return ps
+	}
+
+	// Assemble the reduced problem.
+	redNnz := 0
+	for j := 0; j < n; j++ {
+		if colAlive[j] {
+			ps.colMap = append(ps.colMap, int32(j))
+		}
+	}
+	for ri := range rows {
+		if rows[ri].alive {
+			ps.rowMap = append(ps.rowMap, int32(ri))
+			redNnz += len(rows[ri].terms)
+		}
+	}
+	ps.stats.RowsRemoved = m - len(ps.rowMap)
+	ps.stats.ColsRemoved = n - len(ps.colMap)
+	ps.stats.NnzRemoved = origNnz - redNnz
+
+	if len(ps.colMap) == 0 {
+		// Every variable fixed: all rows must have emptied out too (a
+		// surviving row with no alive variables is an empty row, handled
+		// above), so the trivial path owns the answer.
+		ps.red = NewProblem(1) // placeholder; NumConstraints()==0 routes to TrivialSolution
+		return ps
+	}
+	inv := make([]int32, n)
+	for rj, oj := range ps.colMap {
+		inv[oj] = int32(rj)
+	}
+	red := NewProblem(len(ps.colMap))
+	for rj, oj := range ps.colMap {
+		red.objective[rj] = p.objective[oj]
+	}
+	terms := make([]Term, 0, 16)
+	for _, oi := range ps.rowMap {
+		r := &rows[oi]
+		terms = terms[:0]
+		for _, t := range r.terms {
+			terms = append(terms, Term{Var: int(inv[t.Var]), Coef: t.Coef})
+		}
+		red.AddConstraint(terms, r.op, r.rhs)
+	}
+	ps.red = red
+	return ps
+}
+
+// solvePresolved runs Presolve and, when the pass reduced the problem,
+// solves the reduction with inner (Solve or SolveIPM recursing with
+// NoPresolve set) and lifts the result through Postsolve. done=false
+// means presolve found nothing to remove and the caller should solve the
+// original problem itself — the bit-exact pass-through path.
+func solvePresolved(p *Problem, opts Options, inner func(*Problem, Options) (*Solution, error)) (sol *Solution, done bool, err error) {
+	ps := Presolve(p)
+	if ps.Infeasible() {
+		return &Solution{Status: Infeasible}, true, nil
+	}
+	if !ps.DidReduce() {
+		return nil, false, nil
+	}
+	if triv, ok := ps.TrivialSolution(); ok {
+		return triv, true, nil
+	}
+	opts.NoPresolve = true
+	red, err := inner(ps.Reduced(), opts)
+	if err != nil {
+		return nil, true, err
+	}
+	return ps.Postsolve(red), true, nil
+}
+
+// mix64 folds one 64-bit word into an FNV-style running hash. Order
+// sensitive, which is what both dup detectors need: rows keep terms
+// sorted by variable and columns are visited in row order, so true
+// duplicates see identical word streams.
+func mix64(h, v uint64) uint64 {
+	h ^= v
+	h *= 1099511628211
+	h ^= h >> 29
+	return h
+}
+
+const hashSeed = 14695981039346656037
+
+// rowHash hashes a row's support: op then (var, coefbits) pairs. Hash
+// hits are confirmed with sameSupport before any collapse.
+func rowHash(r *presRow) uint64 {
+	h := mix64(hashSeed, uint64(r.op))
+	for _, t := range r.terms {
+		h = mix64(h, uint64(t.Var))
+		h = mix64(h, math.Float64bits(t.Coef))
+	}
+	return h
+}
+
+// sameSupport reports bitwise-identical operator and coefficient rows.
+func sameSupport(a, b *presRow) bool {
+	if a.op != b.op || len(a.terms) != len(b.terms) {
+		return false
+	}
+	for i, t := range a.terms {
+		if b.terms[i].Var != t.Var || math.Float64bits(b.terms[i].Coef) != math.Float64bits(t.Coef) {
+			return false
+		}
+	}
+	return true
+}
+
+// buildColHashes hashes each alive column's (row, coefbits) entries for
+// duplicate-column detection. Hash hits are confirmed with sameColumn.
+func buildColHashes(rows []presRow, colAlive []bool, n int) []uint64 {
+	hs := make([]uint64, n)
+	for j := range hs {
+		hs[j] = hashSeed
+	}
+	for ri := range rows {
+		if !rows[ri].alive {
+			continue
+		}
+		for _, t := range rows[ri].terms {
+			if !colAlive[t.Var] {
+				continue
+			}
+			hs[t.Var] = mix64(mix64(hs[t.Var], uint64(ri)), math.Float64bits(t.Coef))
+		}
+	}
+	return hs
+}
+
+// sameColumn confirms that variables a and b have bitwise-identical
+// coefficients in every alive row. Row terms stay sorted by variable
+// throughout presolve, so each lookup is a binary search.
+func sameColumn(rows []presRow, a, b int) bool {
+	for ri := range rows {
+		r := &rows[ri]
+		if !r.alive {
+			continue
+		}
+		ca, oka := findCoef(r.terms, a)
+		cb, okb := findCoef(r.terms, b)
+		if oka != okb {
+			return false
+		}
+		if oka && math.Float64bits(ca) != math.Float64bits(cb) {
+			return false
+		}
+	}
+	return true
+}
+
+func findCoef(terms []Term, v int) (float64, bool) {
+	lo, hi := 0, len(terms)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if terms[mid].Var < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(terms) && terms[lo].Var == v {
+		return terms[lo].Coef, true
+	}
+	return 0, false
+}

@@ -1,0 +1,142 @@
+package lp
+
+import "math"
+
+// csc is a compressed-sparse-column constraint matrix: one shared pool
+// of row indices and values, with colPtr[j]..colPtr[j+1] delimiting
+// column j. Compared to a slice-of-slices layout this stores the whole
+// matrix in three allocations, keeps columns adjacent in memory (the
+// pricing and normal-equations kernels stream through all columns every
+// pass), and makes appending a column at the tail — the only growth
+// operation column generation needs — a pair of amortised appends.
+//
+// Invariant: within each column, row indices are strictly ascending.
+// Every builder below merges duplicate (row, col) entries to maintain
+// it; formNormal and the contiguous-run detection depend on it.
+type csc struct {
+	colPtr []int32
+	rows   []int32
+	vals   []float64
+}
+
+// numCols returns the number of columns.
+func (a *csc) numCols() int { return len(a.colPtr) - 1 }
+
+// nnz returns the number of stored entries.
+func (a *csc) nnz() int { return len(a.rows) }
+
+// col returns column j's row indices and values as subslices of the
+// pool. The slices stay valid until the next appendCol/appendUnitCol.
+func (a *csc) col(j int) ([]int32, []float64) {
+	lo, hi := a.colPtr[j], a.colPtr[j+1]
+	return a.rows[lo:hi], a.vals[lo:hi]
+}
+
+// appendUnitCol appends a single-entry column (slack, surplus or
+// artificial), returning its index.
+func (a *csc) appendUnitCol(row int32, val float64) int {
+	j := a.numCols()
+	a.rows = append(a.rows, row)
+	a.vals = append(a.vals, val)
+	a.colPtr = append(a.colPtr, int32(len(a.rows)))
+	return j
+}
+
+// appendCol appends a column whose entries are already in ascending row
+// order with no duplicates, returning its index.
+func (a *csc) appendCol(rows []int32, vals []float64) int {
+	j := a.numCols()
+	a.rows = append(a.rows, rows...)
+	a.vals = append(a.vals, vals...)
+	a.colPtr = append(a.colPtr, int32(len(a.rows)))
+	return j
+}
+
+// newCSCBuilder starts a builder for a matrix over numVars structural
+// columns; extraCap reserves pool headroom for unit columns appended
+// after the build (slacks, artificials) so the tail appends do not
+// reallocate.
+func newCSCBuilder(constraints []Constraint, numVars, extraCap int, rowFactor []float64) csc {
+	// Pass 1: count entries per column (duplicates included; merging
+	// only shrinks columns, compacted below).
+	counts := make([]int32, numVars+1)
+	for _, c := range constraints {
+		for _, t := range c.Terms {
+			counts[t.Var+1]++
+		}
+	}
+	for j := 0; j < numVars; j++ {
+		counts[j+1] += counts[j]
+	}
+	total := int(counts[numVars])
+
+	a := csc{
+		colPtr: counts,
+		rows:   make([]int32, total, total+extraCap),
+		vals:   make([]float64, total, total+extraCap),
+	}
+
+	// Pass 2: fill. Rows are visited in ascending order, so each
+	// column's entries land ascending; duplicate (row, col) terms are
+	// merged in place. next[j] tracks the fill cursor of column j.
+	next := make([]int32, numVars)
+	copy(next, a.colPtr[:numVars])
+	for i, c := range constraints {
+		f := rowFactor[i]
+		for _, t := range c.Terms {
+			k := next[t.Var]
+			if lo := a.colPtr[t.Var]; k > lo && a.rows[k-1] == int32(i) {
+				a.vals[k-1] += f * t.Coef
+				continue
+			}
+			a.rows[k] = int32(i)
+			a.vals[k] = f * t.Coef
+			next[t.Var] = k + 1
+		}
+	}
+
+	// Pass 3: compact out the gaps merging left behind.
+	w := int32(0)
+	for j := 0; j < numVars; j++ {
+		lo, hi := a.colPtr[j], next[j]
+		a.colPtr[j] = w
+		for k := lo; k < hi; k++ {
+			a.rows[w] = a.rows[k]
+			a.vals[w] = a.vals[k]
+			w++
+		}
+	}
+	a.colPtr[numVars] = w
+	a.rows = a.rows[:w]
+	a.vals = a.vals[:w]
+	return a
+}
+
+// colMaxAbs returns the largest coefficient magnitude in column j.
+func (a *csc) colMaxAbs(j int) float64 {
+	_, vals := a.col(j)
+	maxAbs := 0.0
+	for _, v := range vals {
+		if x := math.Abs(v); x > maxAbs {
+			maxAbs = x
+		}
+	}
+	return maxAbs
+}
+
+// scaleCol multiplies every entry of column j by f.
+func (a *csc) scaleCol(j int, f float64) {
+	_, vals := a.col(j)
+	for k := range vals {
+		vals[k] *= f
+	}
+}
+
+// dotRange computes y · col over a column's (rows, vals) entry lists.
+func dotRange(y []float64, rows []int32, vals []float64) float64 {
+	v := 0.0
+	for k, r := range rows {
+		v += y[r] * vals[k]
+	}
+	return v
+}

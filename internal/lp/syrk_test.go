@@ -1,0 +1,56 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// syrkRef is the O(L²·G) textbook upper-triangle W·Wᵀ accumulation the
+// blocked kernel must reproduce.
+func syrkRef(w []float64, l, g int, mmat []float64, r0, m int) {
+	for i := 0; i < l; i++ {
+		for j := i; j < l; j++ {
+			s := 0.0
+			for t := 0; t < g; t++ {
+				s += w[i*g+t] * w[j*g+t]
+			}
+			mmat[(r0+i)*m+(r0+j)] += s
+		}
+	}
+}
+
+func TestSyrkUpperIntoMatchesReference(t *testing.T) {
+	rng := uint64(0x243f6a8885a308d3)
+	next := func() float64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return float64(rng%2048)/1024 - 1
+	}
+	for _, tc := range []struct{ l, g, r0, m int }{
+		{1, 1, 0, 4},
+		{2, 3, 1, 6},
+		{5, 7, 0, 8},
+		{8, 64, 2, 16},
+		{13, 513, 3, 20},  // odd L, G past one cache chunk
+		{44, 1027, 7, 96}, // the K44 master shape, unaligned G
+	} {
+		w := make([]float64, tc.l*tc.g)
+		for i := range w {
+			w[i] = next()
+		}
+		got := make([]float64, tc.m*tc.m)
+		want := make([]float64, tc.m*tc.m)
+		syrkUpperInto(w, tc.l, tc.g, got, tc.r0, tc.m)
+		syrkRef(w, tc.l, tc.g, want, tc.r0, tc.m)
+		for i := range want {
+			// The blocked kernel reassociates the sums (chunked G, vector
+			// lanes, fused multiply-adds on machines that have them), so
+			// allow rounding-level differences only.
+			if d := math.Abs(got[i] - want[i]); d > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("L=%d G=%d r0=%d m=%d: mmat[%d] = %g, want %g (diff %g)",
+					tc.l, tc.g, tc.r0, tc.m, i, got[i], want[i], d)
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package serial
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/discretize"
+	"repro/internal/lp"
+	"repro/internal/roadnet"
+)
+
+// TestPresolveInvariantMechanismDigest is the CI gate for the LP
+// presolve layer: presolve is a solver-internal transformation and must
+// never change a served mechanism. Both column-generation LP shapes
+// (the stabilized master and the pricing duals) are irreducible, so
+// Presolve takes its zero-reduction fast path and the solve must be
+// bit-for-bit identical with the pass disabled — the gate compares the
+// SHA-256 of the serialized wire form, which is exactly what a vlpserved
+// store entry holds.
+func TestPresolveInvariantMechanismDigest(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := roadnet.Grid(rng, roadnet.GridConfig{Rows: 2, Cols: 3, Spacing: 0.3, OneWayFrac: 0.5, WeightJitter: 0.2})
+	const delta, eps = 0.3, 4.0
+	part, err := discretize.New(g, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := core.NewProblem(part, core.Config{Epsilon: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	solve := func(noPresolve bool) []byte {
+		t.Helper()
+		// ColdRestart + Sequential: every LP goes through the
+		// Solve/SolveIPM entry points (where presolve is wired in) in a
+		// deterministic order, so any byte drift is attributable to the
+		// presolve flag alone.
+		res, err := core.SolveCG(pr, core.CGOptions{
+			Xi:          0,
+			ColdRestart: true,
+			Sequential:  true,
+			LP:          lp.Options{NoPresolve: noPresolve},
+		})
+		if err != nil {
+			t.Fatalf("SolveCG(NoPresolve=%v): %v", noPresolve, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, FromMechanism(res.Mechanism, delta, eps, 0, res.ETDD, res.LowerBound)); err != nil {
+			t.Fatalf("WriteJSON(NoPresolve=%v): %v", noPresolve, err)
+		}
+		return buf.Bytes()
+	}
+
+	withPresolve := solve(false)
+	withoutPresolve := solve(true)
+	dw := sha256.Sum256(withPresolve)
+	dwo := sha256.Sum256(withoutPresolve)
+	if dw != dwo {
+		t.Fatalf("presolve changed the served mechanism digest:\n  with:    %s\n  without: %s",
+			hex.EncodeToString(dw[:]), hex.EncodeToString(dwo[:]))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"time"
 
@@ -93,6 +94,7 @@ func (s *Server) startFleet() {
 	} else {
 		s.role.Store(leaseFollower)
 		s.refreshFromStore()
+		s.refreshLeaderHint()
 	}
 	s.bg.Add(1)
 	go s.fleetLoop()
@@ -142,6 +144,8 @@ func (s *Server) fleetTick() {
 	s.refreshFromStore()
 	if tok, ok, err := s.store.TryAcquire(fc.Instance, fc.Advertise, fc.TTL); err == nil && ok {
 		s.promote(tok)
+	} else {
+		s.refreshLeaderHint()
 	}
 }
 
@@ -151,6 +155,7 @@ func (s *Server) fleetTick() {
 func (s *Server) promote(token uint64) {
 	_ = token // the store carries the fence; the role flag is ours
 	s.role.Store(leaseLeader)
+	s.leaderURL.Store("")
 	s.recoverFromStore()
 }
 
@@ -175,6 +180,31 @@ func (s *Server) resignLease() {
 
 // isFollower reports whether cold solves are forbidden right now.
 func (s *Server) isFollower() bool { return s.role.Load() == leaseFollower }
+
+// refreshLeaderHint re-reads the lease and caches the leaseholder's
+// advertise URL for the X-VLP-Leader response header. Runs on the lease
+// loop's cadence (never on the request path); a missing, expired or
+// self-owned lease clears the hint.
+func (s *Server) refreshLeaderHint() {
+	url := ""
+	if rec, ok, err := s.store.LeaseHolder(); err == nil && ok && rec.Owner != s.cfg.Fleet.Instance && !rec.Expired(time.Now()) {
+		url = rec.URL
+	}
+	s.leaderURL.Store(url)
+}
+
+// setLeaderHeader stamps X-VLP-Leader with the leaseholder's advertise
+// URL on follower responses, so a client that wants the solving tier —
+// rather than a follower's read-through or fallback rung — can point
+// its next request at the leader directly.
+func (s *Server) setLeaderHeader(w http.ResponseWriter) {
+	if !s.isFollower() {
+		return
+	}
+	if url, _ := s.leaderURL.Load().(string); url != "" {
+		w.Header().Set("X-VLP-Leader", url)
+	}
+}
 
 // leaseState names the current role for /stats.
 func (s *Server) leaseState() string {

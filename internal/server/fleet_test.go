@@ -1,7 +1,9 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -365,5 +367,67 @@ func TestFleetFailoverRecoversCheckpoint(t *testing.T) {
 	}
 	if rec, _, _ := srvB.store.LeaseHolder(); rec.Owner != "b" || rec.Token != 2 {
 		t.Fatalf("lease record after failover: %+v, want owner b token 2", rec)
+	}
+}
+
+// TestFleetFollowerLeaderHeader: follower responses carry the
+// leaseholder's advertise URL in X-VLP-Leader so clients can reach the
+// solving tier directly; the leader (and a solo server) never sets it.
+func TestFleetFollowerLeaderHeader(t *testing.T) {
+	dir := t.TempDir()
+	sw := &swapHandler{}
+	ts := httptest.NewServer(sw)
+	defer ts.Close()
+
+	leader := New(context.Background(), Config{
+		Store:          fleetStore(t, dir),
+		DisableUpgrade: true,
+		Fleet:          &FleetConfig{Instance: "a", Advertise: ts.URL, TTL: 5 * time.Second, Poll: 50 * time.Millisecond},
+	})
+	defer leader.Shutdown(context.Background())
+	sw.h.Store(leader.Handler())
+
+	follower := New(context.Background(), Config{
+		Store:          fleetStore(t, dir),
+		DisableUpgrade: true,
+		Fleet:          &FleetConfig{Instance: "b", TTL: 5 * time.Second, Poll: 50 * time.Millisecond},
+	})
+	defer follower.Shutdown(context.Background())
+	fts := httptest.NewServer(follower.Handler())
+	defer fts.Close()
+
+	spec := testSpecs(t, 1)[0]
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(ts *httptest.Server) *http.Response {
+		t.Helper()
+		resp, err := ts.Client().Post(ts.URL+"/solve", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	resp := post(fts)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follower solve answered %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-VLP-Leader"); got != ts.URL {
+		t.Fatalf("follower X-VLP-Leader = %q, want %q", got, ts.URL)
+	}
+	// The leader must not point clients at itself.
+	if resp := post(ts); resp.Header.Get("X-VLP-Leader") != "" {
+		t.Fatalf("leader set X-VLP-Leader = %q", resp.Header.Get("X-VLP-Leader"))
+	}
+
+	solo := New(context.Background(), Config{DisableUpgrade: true})
+	defer solo.Shutdown(context.Background())
+	sts := httptest.NewServer(solo.Handler())
+	defer sts.Close()
+	if resp := post(sts); resp.Header.Get("X-VLP-Leader") != "" {
+		t.Fatalf("solo server set X-VLP-Leader = %q", resp.Header.Get("X-VLP-Leader"))
 	}
 }

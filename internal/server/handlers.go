@@ -41,6 +41,7 @@ func (s *Server) Handler() http.Handler {
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.setLeaderHeader(w)
 	var spec serial.SolveSpec
 	if !s.decode(w, r, &spec) {
 		return
@@ -66,6 +67,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleObfuscate(w http.ResponseWriter, r *http.Request) {
+	s.setLeaderHeader(w)
 	var req serial.ObfuscateRequest
 	if !s.decode(w, r, &req) {
 		return

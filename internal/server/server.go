@@ -267,6 +267,11 @@ type Server struct {
 	role      atomic.Int32
 	fleetStop chan struct{}
 	fleetOnce sync.Once
+	// leaderURL caches the leaseholder's advertise URL (a string; ""
+	// when unknown or when this process leads), refreshed by the lease
+	// loop so the X-VLP-Leader response header never reads the store on
+	// the request path.
+	leaderURL atomic.Value
 
 	// solveFn builds the entry for a validated spec; tests substitute a
 	// stub to count and pace solves deterministically.

@@ -186,8 +186,8 @@ type StatsSnapshot struct {
 func (s *stats) snapshot(cache *mechCache, leaseState string, fence uint64) StatsSnapshot {
 	solves := s.solves.Load()
 	snap := StatsSnapshot{
-		LeaseState: leaseState,
-		FenceToken: fence,
+		LeaseState:      leaseState,
+		FenceToken:      fence,
 		CacheHits:       s.hits.Load(),
 		CacheMisses:     s.misses.Load(),
 		CacheEvicted:    s.evicted.Load(),
