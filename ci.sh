@@ -30,8 +30,10 @@ go test -race ./...
 # Chaos gate: the fault-injection suite must hold the Geo-I guarantee
 # under injected errors/panics/stalls at every solver site, with the
 # race detector watching the degradation ladder's locks — and, for the
-# durable store, under injected write/fsync/rename/read failures.
-go test -race -run 'TestChaos' ./internal/server
+# durable store, under injected write/fsync/rename/read failures. The
+# breaker and ENOSPC-shed suites guard the two serving-path fault
+# latches (blackholed leader proxy, full disk) under -race.
+go test -race -run 'TestChaos|TestBreaker' ./internal/server
 go test -race -run 'TestStore' ./internal/server ./internal/store
 
 # Kill-and-restart recovery gate: a real vlpserved process is SIGKILLed
@@ -48,6 +50,18 @@ go test -count=1 -run 'TestKillRestartRecovery' ./cmd/vlpserved
 # solves). The in-process lease/fence protocol tests run under -race.
 go test -count=1 -run 'TestLeaderFailover' ./cmd/vlpserved
 go test -race -run 'TestFleet|TestLease' ./internal/server ./internal/store
+
+# Fleet chaos gate: a ~15s seeded vlpchaos run — three real vlpserved
+# processes share a store while the harness walks the standard fault
+# schedule (disk full, torn writes, stalled fsync, SIGSTOP'd leader,
+# blackholed proxy). Hard-fails on any invariant violation: a response
+# outside {2xx, 429}, a timeout from a live member, an out-of-domain
+# location, a fencing-token regression, a pause that failed to fence
+# the old leader out, or a dirty store replay. The emitted report is
+# archived as BENCH_chaos.json and re-validated through the strict
+# schema gate (chaos.ValidateJSON), mirroring the vlpload smoke.
+VLP_CHAOS_OUT="$PWD/BENCH_chaos.json" go test -count=1 -run 'TestChaosSmoke' ./cmd/vlpchaos
+go run ./cmd/vlpchaos -check BENCH_chaos.json
 
 # Admission/coalescing gate: the serving-tier invariants under the race
 # detector — cached digests keep serving (and are never 429'd) while a

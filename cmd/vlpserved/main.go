@@ -59,6 +59,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/server"
 	"repro/internal/store"
 )
@@ -93,6 +94,15 @@ func main() {
 			log.Printf("vlpserved: -solves is deprecated, use -solve-pool")
 		}
 	})
+
+	// Chaos hooks, both opt-in via environment so a production binary is
+	// inert: $VLP_FAULTS arms fault sites at startup, and VLP_FAULT_CTL=1
+	// additionally mounts POST/GET/DELETE /debug/faults so a harness can
+	// re-arm a running process between fault phases.
+	if err := faultinject.ArmFromEnv(os.Getenv); err != nil {
+		fatalf("%s: %v", faultinject.EnvVar, err)
+	}
+	faultCtl := os.Getenv("VLP_FAULT_CTL") != ""
 
 	if *cpuprofile != "" {
 		pf, err := os.Create(*cpuprofile)
@@ -159,9 +169,17 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "vlpserved: durable store at %s (%s)\n", st.Dir(), mode)
 	}
+	handler := srv.Handler()
+	if faultCtl {
+		mux := http.NewServeMux()
+		mux.Handle("/debug/faults", faultinject.Handler())
+		mux.Handle("/", handler)
+		handler = mux
+		fmt.Fprintf(os.Stderr, "vlpserved: fault control surface mounted at /debug/faults\n")
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

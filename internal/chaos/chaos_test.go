@@ -1,0 +1,154 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/serial"
+)
+
+// TestStandardPhasesShape: the canonical schedule covers the three
+// acceptance faults (disk full, leader pause, proxy blackhole), keeps
+// names unique, and sizes the pause to outlive the lease.
+func TestStandardPhasesShape(t *testing.T) {
+	ttl := time.Second
+	phases := StandardPhases(1200*time.Millisecond, ttl)
+	names := map[string]bool{}
+	var pause *Phase
+	faults := 0
+	for i := range phases {
+		ph := &phases[i]
+		if names[ph.Name] {
+			t.Fatalf("duplicate phase name %q", ph.Name)
+		}
+		names[ph.Name] = true
+		if ph.Duration <= 0 {
+			t.Fatalf("phase %q has non-positive duration", ph.Name)
+		}
+		if ph.FaultSpec != "" || ph.PauseLeader {
+			faults++
+		}
+		if ph.PauseLeader {
+			pause = ph
+		}
+	}
+	for _, want := range []string{"disk-full", "leader-pause", "proxy-blackhole"} {
+		if !names[want] {
+			t.Fatalf("standard schedule missing the %q phase", want)
+		}
+	}
+	if faults < 3 {
+		t.Fatalf("only %d fault phases, want >= 3", faults)
+	}
+	if pause == nil || pause.Duration <= 2*ttl {
+		t.Fatalf("leader pause %v does not outlive the %v lease with margin", pause.Duration, ttl)
+	}
+	if phases[0].FaultSpec != "" || phases[len(phases)-1].FaultSpec != "" {
+		t.Fatal("schedule must start and end with a healthy phase")
+	}
+}
+
+// TestChaosSpecDeterminism: the spec generator is a pure function of
+// (seed, index) — same inputs give the same digest, different indices
+// give distinct cold work.
+func TestChaosSpecDeterminism(t *testing.T) {
+	a, b := chaosSpec(7, 0), chaosSpec(7, 0)
+	if a.Digest() != b.Digest() {
+		t.Fatal("same (seed, index) produced different digests")
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 10; i++ {
+		d := chaosSpec(7, i).Digest()
+		if seen[d] {
+			t.Fatalf("spec index %d repeats an earlier digest", i)
+		}
+		seen[d] = true
+	}
+	if chaosSpec(8, 0).Digest() == chaosSpec(7, 0).Digest() {
+		t.Fatal("different seeds produced the same spec")
+	}
+	if err := chaosSpec(7, 3).Validate(); err != nil {
+		t.Fatalf("generated spec invalid: %v", err)
+	}
+}
+
+// TestRandomLocsInDomain: every generated true location must be a
+// valid request the server cannot 4xx.
+func TestRandomLocsInDomain(t *testing.T) {
+	spec := chaosSpec(1, 0)
+	rng := phaseRNG(1, 0)
+	for _, l := range randomLocs(rng, spec, 64) {
+		if l.Road < 0 || l.Road >= len(spec.Network.Edges) {
+			t.Fatalf("road %d outside [0, %d)", l.Road, len(spec.Network.Edges))
+		}
+		if w := spec.Network.Edges[l.Road].Weight; l.FromStart < 0 || l.FromStart > w {
+			t.Fatalf("offset %v outside road length %v", l.FromStart, w)
+		}
+	}
+}
+
+// TestConfigDefaults: zero values resolve to the documented defaults
+// and impossible configs are rejected up front.
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{Bin: "/bin/true", StoreDir: "/tmp/x", Phases: []Phase{{Name: "p", Duration: time.Second}}}
+	if err := cfg.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Procs != 3 || cfg.Rate != 20 || cfg.TTL != time.Second || cfg.Poll != 200*time.Millisecond {
+		t.Fatalf("defaults: procs=%d rate=%v ttl=%v poll=%v", cfg.Procs, cfg.Rate, cfg.TTL, cfg.Poll)
+	}
+	if cfg.RequestTimeout != 3*time.Second {
+		t.Fatalf("request timeout default %v, want 3s", cfg.RequestTimeout)
+	}
+	for _, bad := range []Config{
+		{StoreDir: "d", Phases: []Phase{{Name: "p", Duration: time.Second}}},
+		{Bin: "b", Phases: []Phase{{Name: "p", Duration: time.Second}}},
+		{Bin: "b", StoreDir: "d"},
+		{Bin: "b", StoreDir: "d", Phases: []Phase{{Name: "", Duration: time.Second}}},
+		{Bin: "b", StoreDir: "d", Procs: 1, Phases: []Phase{{Name: "p", Duration: time.Second}}},
+	} {
+		if err := bad.defaults(); err == nil {
+			t.Fatalf("config %+v accepted", bad)
+		}
+	}
+}
+
+// TestCheckResponse: the per-response classifier rejects out-of-domain
+// locations, wrong batch sizes and unknown tiers, and accepts the
+// shapes the server actually emits.
+func TestCheckResponse(t *testing.T) {
+	spec := chaosSpec(1, 0)
+	w := spec.Network.Edges[0].Weight
+	ok := func() *serial.ObfuscateResponse {
+		return &serial.ObfuscateResponse{
+			Quality:   serial.QualityOptimal,
+			Locations: []serial.Loc{{Road: 0, FromStart: w / 2}},
+		}
+	}
+	if msg := checkResponse(spec, 1, ok()); msg != "" {
+		t.Fatalf("valid response rejected: %s", msg)
+	}
+	cached := ok()
+	cached.Cached, cached.Quality = true, ""
+	if msg := checkResponse(spec, 1, cached); msg != "" {
+		t.Fatalf("cached pre-tier response rejected: %s", msg)
+	}
+	bad := ok()
+	bad.Quality = "experimental"
+	if checkResponse(spec, 1, bad) == "" {
+		t.Fatal("unknown tier accepted")
+	}
+	bad = ok()
+	bad.Locations[0].Road = len(spec.Network.Edges)
+	if checkResponse(spec, 1, bad) == "" {
+		t.Fatal("out-of-range road accepted")
+	}
+	bad = ok()
+	bad.Locations[0].FromStart = w * 2
+	if checkResponse(spec, 1, bad) == "" {
+		t.Fatal("off-road offset accepted")
+	}
+	if checkResponse(spec, 2, ok()) == "" {
+		t.Fatal("short batch accepted")
+	}
+}

@@ -1,0 +1,167 @@
+package faultinject
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParseSpecGrammar(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantErr bool
+		check   func(t *testing.T, faults map[string]*Fault)
+	}{
+		{spec: "", check: func(t *testing.T, f map[string]*Fault) {
+			if len(f) != 0 {
+				t.Fatalf("empty spec parsed to %v", f)
+			}
+		}},
+		{spec: "store/write=err", check: func(t *testing.T, f map[string]*Fault) {
+			fa := f["store/write"]
+			if fa == nil || fa.Err == nil || fa.Times != 0 {
+				t.Fatalf("got %+v", fa)
+			}
+		}},
+		{spec: "store/write=err:disk on fire;times=3", check: func(t *testing.T, f map[string]*Fault) {
+			fa := f["store/write"]
+			if fa == nil || fa.Err == nil || fa.Err.Error() != "disk on fire" || fa.Times != 3 {
+				t.Fatalf("got %+v", fa)
+			}
+		}},
+		{spec: "store/write=enospc", check: func(t *testing.T, f map[string]*Fault) {
+			fa := f["store/write"]
+			if fa == nil || !errors.Is(fa.Err, syscall.ENOSPC) {
+				t.Fatalf("enospc action not errors.Is(ENOSPC): %+v", fa)
+			}
+		}},
+		{spec: "store/fsync=delay:150ms", check: func(t *testing.T, f map[string]*Fault) {
+			fa := f["store/fsync"]
+			if fa == nil || fa.Delay != 150*time.Millisecond {
+				t.Fatalf("got %+v", fa)
+			}
+		}},
+		{spec: "core/cg=panic:numeric blowup", check: func(t *testing.T, f map[string]*Fault) {
+			fa := f["core/cg"]
+			if fa == nil || fa.Panic != "numeric blowup" {
+				t.Fatalf("got %+v", fa)
+			}
+		}},
+		{spec: "a=err, b=enospc ,c=off", check: func(t *testing.T, f map[string]*Fault) {
+			if len(f) != 3 || f["a"] == nil || f["b"] == nil || f["c"] != nil {
+				t.Fatalf("got %v", f)
+			}
+		}},
+		{spec: "noequals", wantErr: true},
+		{spec: "a=frobnicate", wantErr: true},
+		{spec: "a=delay:notadur", wantErr: true},
+		{spec: "a=err;times=0", wantErr: true},
+		{spec: "a=err;bogus=1", wantErr: true},
+	}
+	for _, tc := range cases {
+		faults, err := ParseSpec(tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseSpec(%q): want error, got %v", tc.spec, faults)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		tc.check(t, faults)
+	}
+}
+
+func TestArmSpecAndEnv(t *testing.T) {
+	defer Reset()
+	if err := ArmSpec("x=err:boom;times=1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := At("x"); err == nil || err.Error() != "boom" {
+		t.Fatalf("armed site returned %v", err)
+	}
+	if err := At("x"); err != nil {
+		t.Fatalf("times=1 fault fired twice: %v", err)
+	}
+
+	// "off" entries clear a previously armed site.
+	if err := ArmSpec("y=err"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ArmSpec("y=off"); err != nil {
+		t.Fatal(err)
+	}
+	if err := At("y"); err != nil {
+		t.Fatalf("off entry left site armed: %v", err)
+	}
+
+	// A parse error arms nothing.
+	if err := ArmSpec("z=err,bad entry"); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if err := At("z"); err != nil {
+		t.Fatalf("failed ArmSpec partially armed: %v", err)
+	}
+
+	// Env arming: unset is a no-op, set arms the spec.
+	if err := ArmFromEnv(func(string) string { return "" }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ArmFromEnv(func(k string) string {
+		if k != EnvVar {
+			t.Fatalf("read %q, want %q", k, EnvVar)
+		}
+		return "envsite=err:from env"
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := At("envsite"); err == nil || err.Error() != "from env" {
+		t.Fatalf("env-armed site returned %v", err)
+	}
+}
+
+func TestHandlerControlSurface(t *testing.T) {
+	defer Reset()
+	h := Handler()
+
+	post := func(body string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("POST", "/debug/faults", strings.NewReader(body)))
+		return w
+	}
+	if w := post("h1=err:via http,h2=delay:1ms"); w.Code != 204 {
+		t.Fatalf("POST: %d %s", w.Code, w.Body)
+	}
+	if err := At("h1"); err == nil || err.Error() != "via http" {
+		t.Fatalf("POSTed site returned %v", err)
+	}
+	if w := post("garbage"); w.Code != 400 {
+		t.Fatalf("bad spec POST: %d", w.Code)
+	}
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/debug/faults", nil))
+	if w.Code != 200 || !strings.Contains(w.Body.String(), "h1") || !strings.Contains(w.Body.String(), "h2") {
+		t.Fatalf("GET: %d %s", w.Code, w.Body)
+	}
+
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("DELETE", "/debug/faults", nil))
+	if w.Code != 204 {
+		t.Fatalf("DELETE: %d", w.Code)
+	}
+	if err := At("h1"); err != nil {
+		t.Fatalf("DELETE left site armed: %v", err)
+	}
+
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("PUT", "/debug/faults", nil))
+	if w.Code != 405 {
+		t.Fatalf("PUT: %d", w.Code)
+	}
+}

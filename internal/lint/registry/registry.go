@@ -53,7 +53,7 @@ func All() []Scoped {
 		},
 		{
 			Analyzer: faultpoint.Analyzer,
-			Scope:    regexp.MustCompile(`^repro/internal/(store|serial|lp|core|faultinject)$`),
+			Scope:    regexp.MustCompile(`^repro/internal/(store|serial|lp|core|faultinject|server)$`),
 			Why:      "every durable I/O site is killable by the chaos suite; site names are unique constants",
 		},
 		{

@@ -85,12 +85,36 @@ func (c *Client) backoff(resp *http.Response, step time.Duration) time.Duration 
 	return wait
 }
 
+// StatusError records an HTTP status a failed Do saw on its way to
+// giving up. Do returns the last response directly when the final
+// attempt produced one; when the final attempt died in transport
+// instead, the most recent status rides along wrapped in the returned
+// error, extractable with errors.As — so callers never lose what the
+// server last said.
+type StatusError struct {
+	Status int
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("retryhttp: server answered %d %s", e.Status, http.StatusText(e.Status))
+}
+
 // retryable reports whether a response status is worth another attempt:
-// explicit backpressure and drain signals, plus any other 5xx.
+// explicit backpressure and drain signals (429, 503), plus any other
+// 5xx. Every other 4xx is deterministic — the server parsed the request
+// and rejected it, so a replay buys the same answer at the cost of the
+// full backoff ladder — and is returned to the caller on the first
+// attempt. The follower→leader proxy rung depends on this: a leader's
+// 422 must fail the proxy immediately, not stack retry latency onto a
+// request that will degrade to the fallback rung anyway.
 func retryable(status int) bool {
-	return status == http.StatusTooManyRequests ||
-		status == http.StatusServiceUnavailable ||
-		status >= 500
+	if status == http.StatusTooManyRequests {
+		return true
+	}
+	if status >= 400 && status < 500 {
+		return false
+	}
+	return status == http.StatusServiceUnavailable || status >= 500
 }
 
 // retryAfter parses a Retry-After header (delta-seconds or HTTP-date);
@@ -131,6 +155,7 @@ func (c *Client) Do(req *http.Request) (*http.Response, error) {
 	}
 
 	var lastErr error
+	var lastStatus int
 	var resp *http.Response
 	step := base
 	for attempt := 0; attempt < c.attempts(); attempt++ {
@@ -168,12 +193,19 @@ func (c *Client) Do(req *http.Request) (*http.Response, error) {
 		if !retryable(resp.StatusCode) {
 			return resp, nil
 		}
-		lastErr = fmt.Errorf("retryhttp: server answered %s", resp.Status)
+		lastStatus = resp.StatusCode
+		lastErr = &StatusError{Status: resp.StatusCode}
 	}
 	if resp != nil {
 		// Out of attempts on a retryable status: hand the caller the last
 		// response rather than discarding what the server said.
 		return resp, nil
+	}
+	if lastStatus != 0 {
+		// The final attempt died in transport but an earlier one got an
+		// answer; surface both, each reachable via errors.As/Is.
+		return nil, fmt.Errorf("retryhttp: %d attempts failed, last error: %w (last status: %w)",
+			c.attempts(), lastErr, &StatusError{Status: lastStatus})
 	}
 	return nil, fmt.Errorf("retryhttp: %d attempts failed, last error: %w", c.attempts(), lastErr)
 }

@@ -277,3 +277,87 @@ func TestRetryAfterParsing(t *testing.T) {
 		t.Fatal("negative delta-seconds parsed as a hint")
 	}
 }
+
+// TestClientErrorsNeverRetried pins the 4xx contract across the range:
+// only 429 is backpressure; every other client error is deterministic
+// and gets exactly one attempt.
+func TestClientErrorsNeverRetried(t *testing.T) {
+	cases := []struct {
+		status   int
+		wantHits int32
+	}{
+		{http.StatusBadRequest, 1},
+		{http.StatusNotFound, 1},
+		{http.StatusUnprocessableEntity, 1},
+		{http.StatusTooManyRequests, 3}, // the one retryable 4xx
+	}
+	for _, tc := range cases {
+		var hits atomic.Int32
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits.Add(1)
+			w.WriteHeader(tc.status)
+		}))
+		c := &Client{MaxAttempts: 3, BaseDelay: time.Millisecond}
+		req, _ := http.NewRequest(http.MethodGet, ts.URL, nil)
+		resp, err := c.Do(req)
+		ts.Close()
+		if err != nil {
+			t.Fatalf("status %d: %v", tc.status, err)
+		}
+		if resp.StatusCode != tc.status {
+			t.Errorf("status %d: got %d back", tc.status, resp.StatusCode)
+		}
+		resp.Body.Close()
+		if hits.Load() != tc.wantHits {
+			t.Errorf("status %d: %d attempts, want %d", tc.status, hits.Load(), tc.wantHits)
+		}
+	}
+}
+
+// statusThenDieTransport answers the first request with a synthetic
+// retryable status and fails every later one in transport — the exact
+// shape of a server that sheds load and then drops off the network.
+type statusThenDieTransport struct {
+	calls atomic.Int32
+}
+
+func (tr *statusThenDieTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if tr.calls.Add(1) == 1 {
+		return &http.Response{
+			StatusCode: http.StatusServiceUnavailable,
+			Status:     "503 Service Unavailable",
+			Header:     make(http.Header),
+			Body:       io.NopCloser(strings.NewReader("")),
+			Request:    req,
+		}, nil
+	}
+	return nil, errors.New("connection refused")
+}
+
+// TestStatusErrorSurfaced: when the final attempt dies in transport but
+// an earlier attempt saw a retryable status, the returned error carries
+// that status as an errors.As-able StatusError — the caller learns what
+// the server last said even though no response survived.
+func TestStatusErrorSurfaced(t *testing.T) {
+	tr := &statusThenDieTransport{}
+	c := &Client{
+		HTTP:        &http.Client{Transport: tr},
+		MaxAttempts: 2,
+		BaseDelay:   time.Millisecond,
+	}
+	req, _ := http.NewRequest(http.MethodGet, "http://fleet.invalid/solve", nil)
+	if _, err := c.Do(req); err == nil {
+		t.Fatal("Do succeeded against a dead transport")
+	} else {
+		var se *StatusError
+		if !errors.As(err, &se) {
+			t.Fatalf("error %v does not carry a StatusError", err)
+		}
+		if se.Status != http.StatusServiceUnavailable {
+			t.Fatalf("surfaced status %d, want 503", se.Status)
+		}
+	}
+	if tr.calls.Load() != 2 {
+		t.Fatalf("transport saw %d calls, want 2", tr.calls.Load())
+	}
+}

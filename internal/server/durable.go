@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"math/rand"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/serial"
@@ -59,6 +60,13 @@ func restoreState(ss *serial.StoredState) (*core.CGState, error) {
 // tier the mid-solve checkpoint (now superseded) and the recovery
 // warm-start are dropped too. No-op without a store; write failures are
 // swallowed — the entry still serves from memory.
+//
+// Full-disk handling: an ENOSPC failure latches storeDegraded, which
+// sheds checkpoint writes (writeCheckpoint) while entry persists keep
+// going as cheap recovery probes — one snapshot per completed solve.
+// The first persist that lands clears the latch, so durability resumes
+// by itself when space returns. Every write failed or skipped while
+// handling the condition is counted in store_write_shed.
 func (s *Server) persistEntry(key string, spec *serial.SolveSpec, e *entry) {
 	if s.store == nil {
 		return
@@ -73,8 +81,13 @@ func (s *Server) persistEntry(key string, spec *serial.SolveSpec, e *entry) {
 		State: storedStateFrom(e.state),
 	}
 	if err := s.store.WriteEntry(se); err != nil {
+		if isDiskFull(err) {
+			s.storeDegraded.Store(true)
+			s.stats.storeShed()
+		}
 		return
 	}
+	s.storeDegraded.Store(false)
 	s.stats.storeWrote()
 	if e.tier == serial.QualityOptimal {
 		s.store.DeleteCheckpoint(key)
@@ -83,17 +96,33 @@ func (s *Server) persistEntry(key string, spec *serial.SolveSpec, e *entry) {
 }
 
 // writeCheckpoint durably snapshots a mid-solve column pool; called from
-// the solver's OnState hook every checkpointEvery rounds.
+// the solver's OnState hook every checkpointEvery rounds. While the
+// store is ENOSPC-degraded, checkpoints are shed without touching the
+// disk: they are pure recovery optimisation, and hammering a full disk
+// with doomed multi-megabyte column pools only delays its recovery.
 func (s *Server) writeCheckpoint(spec *serial.SolveSpec, rounds int, st *core.CGState) {
+	if s.storeDegraded.Load() {
+		s.stats.storeShed()
+		return
+	}
 	ss := storedStateFrom(st)
 	if ss == nil {
 		return
 	}
 	ck := &serial.StoredCheckpoint{Spec: *spec, Rounds: rounds, State: *ss}
 	if err := s.store.WriteCheckpoint(ck); err != nil {
+		if isDiskFull(err) {
+			s.storeDegraded.Store(true)
+			s.stats.storeShed()
+		}
 		return
 	}
 	s.stats.checkpointWrote()
+}
+
+// isDiskFull reports whether a store write failed for lack of space.
+func isDiskFull(err error) bool {
+	return errors.Is(err, syscall.ENOSPC)
 }
 
 // entryFromStore rebuilds a servable cache entry from the durable

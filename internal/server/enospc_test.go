@@ -1,0 +1,119 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"syscall"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/store"
+)
+
+// TestStoreWriteShedOnENOSPC: a full disk must never fail a request.
+// While the store reports ENOSPC, entry persists fail (counted as
+// shed, latching degradation), checkpoint writes are shed without
+// touching the disk at all, and serving continues untouched; when
+// space returns the first successful persist clears the latch and
+// durability resumes — no restart, no operator action.
+func TestStoreWriteShedOnENOSPC(t *testing.T) {
+	defer faultinject.Reset()
+	st := testStore(t)
+	srv := New(context.Background(), Config{Store: st, DisableUpgrade: true})
+	defer srv.Shutdown(context.Background())
+	specs := testSpecs(t, 3)
+
+	// Healthy baseline: the first solve persists.
+	if _, _, err := srv.mechanismFor(context.Background(), specs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if snap := srv.Stats(); snap.StoreWrites != 1 || snap.StoreWriteShed != 0 {
+		t.Fatalf("baseline: store_writes=%d shed=%d, want 1/0", snap.StoreWrites, snap.StoreWriteShed)
+	}
+
+	// Disk fills: every store write now fails with ENOSPC.
+	faultinject.Set(store.FaultSiteWrite, faultinject.Fault{
+		Err: fmt.Errorf("no space left on device: %w", syscall.ENOSPC),
+	})
+
+	// The request is served anyway — same solve, same Geo-I gate — and
+	// the failed persist is counted and latches degradation.
+	e, cached, err := srv.mechanismFor(context.Background(), specs[1])
+	if err != nil {
+		t.Fatalf("request during ENOSPC failed: %v", err)
+	}
+	if cached {
+		t.Fatal("unexpected cache hit")
+	}
+	assertServable(t, e)
+	snap := srv.Stats()
+	if snap.StoreWrites != 1 {
+		t.Fatalf("store_writes=%d during ENOSPC, want 1", snap.StoreWrites)
+	}
+	if snap.StoreWriteShed == 0 {
+		t.Fatal("failed persist not counted in store_write_shed")
+	}
+	if !srv.storeDegraded.Load() {
+		t.Fatal("ENOSPC did not latch store degradation")
+	}
+
+	// While degraded, checkpoints shed before any I/O: even with the
+	// write fault still armed nothing reaches the store.
+	shedBefore := snap.StoreWriteShed
+	state := mustState(t, srv, specs[2])
+	srv.writeCheckpoint(specs[2], 1, state)
+	snap = srv.Stats()
+	if snap.CheckpointWrites != 0 {
+		t.Fatalf("checkpoint committed while degraded: %d", snap.CheckpointWrites)
+	}
+	if snap.StoreWriteShed != shedBefore+1 {
+		t.Fatalf("shed=%d after checkpoint, want %d", snap.StoreWriteShed, shedBefore+1)
+	}
+
+	// Space returns: the next entry persist doubles as the probe, lands,
+	// clears the latch, and checkpoints flow again.
+	faultinject.Clear(store.FaultSiteWrite)
+	if _, _, err := srv.mechanismFor(context.Background(), specs[2]); err != nil {
+		t.Fatal(err)
+	}
+	snap = srv.Stats()
+	if snap.StoreWrites != 2 {
+		t.Fatalf("store_writes=%d after recovery, want 2", snap.StoreWrites)
+	}
+	if srv.storeDegraded.Load() {
+		t.Fatal("degradation latch survived a successful persist")
+	}
+	srv.writeCheckpoint(specs[2], 2, state)
+	if snap = srv.Stats(); snap.CheckpointWrites != 1 {
+		t.Fatalf("checkpoint_writes=%d after recovery, want 1", snap.CheckpointWrites)
+	}
+
+	// The recovered snapshot is really on disk.
+	if _, err := st.LoadEntry(specs[2].Digest()); err != nil {
+		t.Fatalf("post-recovery snapshot unreadable: %v", err)
+	}
+}
+
+// TestStoreWriteShedNonENOSPCDoesNotLatch: other write failures stay
+// best-effort one-offs — no latch, so the next checkpoint still tries.
+func TestStoreWriteShedNonENOSPCDoesNotLatch(t *testing.T) {
+	defer faultinject.Reset()
+	st := testStore(t)
+	srv := New(context.Background(), Config{Store: st, DisableUpgrade: true})
+	defer srv.Shutdown(context.Background())
+	spec := testSpecs(t, 1)[0]
+
+	faultinject.Set(store.FaultSiteWrite, faultinject.Fault{
+		Err: fmt.Errorf("transient I/O error"), Times: 1,
+	})
+	if _, _, err := srv.mechanismFor(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	snap := srv.Stats()
+	if snap.StoreWriteShed != 0 {
+		t.Fatalf("transient failure counted as shed: %d", snap.StoreWriteShed)
+	}
+	if srv.storeDegraded.Load() {
+		t.Fatal("transient failure latched degradation")
+	}
+}

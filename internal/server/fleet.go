@@ -8,6 +8,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/retryhttp"
 	"repro/internal/serial"
 )
@@ -43,6 +44,12 @@ const (
 // large store converges over several ticks.
 const refreshLoadCap = 8
 
+// FaultSiteFleetProxy sits immediately before the follower→leader
+// proxy POST: arming it blackholes the proxy rung of a real follower
+// process without any network machinery, which is how the chaos
+// harness forces the circuit breaker open.
+const FaultSiteFleetProxy = "server/fleet/proxy"
+
 // FleetConfig configures fleet membership (Config.Fleet). The store in
 // Config.Store must be opened with store.OpenFleet so commits are
 // fenced.
@@ -63,8 +70,18 @@ type FleetConfig struct {
 	Poll time.Duration
 	// Proxy is the retrying client for follower→leader solve proxying;
 	// the default retries once with a short jittered backoff so a
-	// follower miss fails over to the fallback rung quickly.
+	// follower miss fails over to the fallback rung quickly, and bounds
+	// each request at TTL/2 so a stalled (SIGSTOP'd, partitioned) leader
+	// cannot hang a follower past its own failover horizon.
 	Proxy *retryhttp.Client
+	// BreakerThreshold is how many consecutive proxy failures open the
+	// circuit breaker (default 3): while open, follower misses skip the
+	// proxy rung entirely and degrade straight to the ε/2 fallback.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before letting
+	// one probe request through (default TTL — by then a failover has
+	// either produced a reachable leader or nothing has changed).
+	BreakerCooldown time.Duration
 }
 
 func (f *FleetConfig) withDefaults() *FleetConfig {
@@ -79,7 +96,18 @@ func (f *FleetConfig) withDefaults() *FleetConfig {
 		g.Instance = fmt.Sprintf("vlpserved-%d", os.Getpid())
 	}
 	if g.Proxy == nil {
-		g.Proxy = &retryhttp.Client{MaxAttempts: 2, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second}
+		g.Proxy = &retryhttp.Client{
+			HTTP:        &http.Client{Timeout: g.TTL / 2},
+			MaxAttempts: 2,
+			BaseDelay:   50 * time.Millisecond,
+			MaxDelay:    time.Second,
+		}
+	}
+	if g.BreakerThreshold <= 0 {
+		g.BreakerThreshold = 3
+	}
+	if g.BreakerCooldown <= 0 {
+		g.BreakerCooldown = g.TTL
 	}
 	return &g
 }
@@ -277,6 +305,12 @@ func (s *Server) followerEntry(ctx context.Context, key string, spec *serial.Sol
 // to proxy to itself (a demoted leader may still be on file briefly)
 // and treats every non-2xx or transport failure as "leader
 // unavailable" — the caller degrades instead of erroring.
+//
+// The attempt is gated by the proxy circuit breaker: lease-lookup
+// refusals don't count (no leader on file is not a leader failure), but
+// every admitted attempt reports its outcome, so a blackholed leader
+// opens the breaker after BreakerThreshold misses and subsequent
+// requests skip the retry budget entirely.
 func (s *Server) proxySolve(ctx context.Context, spec *serial.SolveSpec) bool {
 	fc := s.cfg.Fleet
 	rec, ok, err := s.store.LeaseHolder()
@@ -286,8 +320,16 @@ func (s *Server) proxySolve(ctx context.Context, spec *serial.SolveSpec) bool {
 	if rec.Expired(time.Now()) {
 		return false
 	}
-	status, err := fc.Proxy.PostJSON(ctx, rec.URL+"/solve", spec, nil)
-	return err == nil && status >= 200 && status < 300
+	if !s.proxyBreaker.allow() {
+		return false
+	}
+	reached := false
+	if ferr := faultinject.At(FaultSiteFleetProxy); ferr == nil {
+		status, perr := fc.Proxy.PostJSON(ctx, rec.URL+"/solve", spec, nil)
+		reached = perr == nil && status >= 200 && status < 300
+	}
+	s.proxyBreaker.result(reached)
+	return reached
 }
 
 // fallbackEntry builds the bottom-rung entry — the ε/2 exponential

@@ -431,3 +431,102 @@ func TestFleetFollowerLeaderHeader(t *testing.T) {
 		t.Fatalf("solo server set X-VLP-Leader = %q", resp.Header.Get("X-VLP-Leader"))
 	}
 }
+
+// TestFleetProxyBreakerTrips: the circuit breaker on the proxy rung,
+// end to end against a real follower. The leaseholder is blackholed at
+// the FaultSiteFleetProxy injection point for exactly BreakerThreshold
+// attempts; after the trip, follower misses must reach the ε/2 rung
+// without touching the leader at all — the advertised URL is live and
+// counting, and it must stay at zero hits while the breaker is open.
+// Forcing the cooldown to have elapsed then admits a single half-open
+// probe, which succeeds and closes the breaker. Run under -race in ci.
+func TestFleetProxyBreakerTrips(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+
+	// A live "leader" that counts proxy arrivals and answers 200 —
+	// reachable the whole time, so any hit while the breaker is open is
+	// a breaker bug, not a network accident.
+	var leaderHits atomic.Int64
+	leader := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		leaderHits.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer leader.Close()
+
+	holder := fleetStore(t, dir)
+	if _, ok, err := holder.TryAcquire("ext", leader.URL, time.Hour); err != nil || !ok {
+		t.Fatalf("planting external lease: ok=%v err=%v", ok, err)
+	}
+
+	const threshold = 3
+	srv := New(context.Background(), Config{
+		Store:          fleetStore(t, dir),
+		DisableUpgrade: true,
+		Fleet: &FleetConfig{Instance: "b", TTL: time.Hour, Poll: 10 * time.Second,
+			BreakerThreshold: threshold, BreakerCooldown: time.Hour,
+			Proxy: &retryhttp.Client{MaxAttempts: 1, BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond}},
+	})
+	defer srv.Shutdown(context.Background())
+	if snap := srv.Stats(); snap.LeaseState != "follower" || snap.ProxyBreakerState != "closed" {
+		t.Fatalf("setup: lease_state=%q breaker=%q", snap.LeaseState, snap.ProxyBreakerState)
+	}
+
+	// Blackhole exactly the first `threshold` proxy attempts.
+	faultinject.Set(FaultSiteFleetProxy, faultinject.Fault{
+		Err: errors.New("injected partition"), Times: threshold,
+	})
+
+	spec := testSpecs(t, 1)[0]
+	serveMiss := func(i int) {
+		t.Helper()
+		e, cached, err := srv.mechanismFor(context.Background(), spec)
+		if err != nil || cached {
+			t.Fatalf("miss %d: cached=%v err=%v", i, cached, err)
+		}
+		if e.tier != serial.QualityFallback {
+			t.Fatalf("miss %d: tier %q, want fallback", i, e.tier)
+		}
+		assertServable(t, e)
+	}
+	for i := 0; i < threshold; i++ {
+		serveMiss(i)
+	}
+	snap := srv.Stats()
+	if snap.ProxyBreakerState != "open" || snap.ProxyBreakerTrips != 1 {
+		t.Fatalf("after %d blackholed attempts: breaker=%q trips=%d, want open/1",
+			threshold, snap.ProxyBreakerState, snap.ProxyBreakerTrips)
+	}
+	if leaderHits.Load() != 0 {
+		t.Fatalf("leader hit %d times through the injected blackhole", leaderHits.Load())
+	}
+
+	// Open breaker: misses degrade immediately. The fault is exhausted,
+	// so any proxy attempt WOULD succeed — reaching the leader now can
+	// only mean the breaker failed to gate.
+	for i := 0; i < 5; i++ {
+		serveMiss(threshold + i)
+	}
+	if leaderHits.Load() != 0 {
+		t.Fatalf("open breaker let %d requests through", leaderHits.Load())
+	}
+
+	// Cooldown "elapses": backdate the trip. The next miss is admitted
+	// as the half-open probe, reaches the live leader, and closes the
+	// breaker. (The probe 200 has no store entry behind it, so the
+	// request itself still serves the fallback rung.)
+	srv.proxyBreaker.mu.Lock()
+	srv.proxyBreaker.openedAt = time.Now().Add(-2 * time.Hour)
+	srv.proxyBreaker.mu.Unlock()
+	serveMiss(99)
+	if hits := leaderHits.Load(); hits != 1 {
+		t.Fatalf("half-open probe hit the leader %d times, want 1", hits)
+	}
+	snap = srv.Stats()
+	if snap.ProxyBreakerState != "closed" || snap.ProxyBreakerTrips != 1 {
+		t.Fatalf("after probe: breaker=%q trips=%d, want closed/1", snap.ProxyBreakerState, snap.ProxyBreakerTrips)
+	}
+	if snap.Solves != 0 || snap.StoreWrites != 0 {
+		t.Fatalf("follower solved/wrote: %d/%d", snap.Solves, snap.StoreWrites)
+	}
+}

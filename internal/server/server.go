@@ -272,6 +272,16 @@ type Server struct {
 	// loop so the X-VLP-Leader response header never reads the store on
 	// the request path.
 	leaderURL atomic.Value
+	// proxyBreaker is the circuit breaker on the follower→leader proxy
+	// rung (breaker.go); nil outside fleet mode.
+	proxyBreaker *breaker
+
+	// storeDegraded latches when a durable write hits a full disk
+	// (ENOSPC): while set, checkpoint writes are shed without touching
+	// the disk and entry persists double as recovery probes — the first
+	// one that lands clears the latch. Serving is never affected; the
+	// latch only spends (or saves) durability I/O.
+	storeDegraded atomic.Bool
 
 	// solveFn builds the entry for a validated spec; tests substitute a
 	// stub to count and pace solves deterministically.
@@ -298,6 +308,7 @@ func New(ctx context.Context, cfg Config) *Server {
 	s.store = cfg.Store
 	switch {
 	case s.store != nil && cfg.Fleet != nil:
+		s.proxyBreaker = newBreaker(cfg.Fleet.BreakerThreshold, cfg.Fleet.BreakerCooldown)
 		s.startFleet()
 	case s.store != nil:
 		s.recoverFromStore()
@@ -608,9 +619,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // Stats snapshots the service counters and cached mechanisms.
 func (s *Server) Stats() StatsSnapshot {
-	var fence uint64
+	var fence, quarGC uint64
 	if s.store != nil {
 		fence = s.store.Fence()
+		quarGC = s.store.QuarantineGCBytes()
 	}
-	return s.stats.snapshot(s.cache, s.leaseState(), fence)
+	var breakerState string
+	var breakerTrips uint64
+	if s.proxyBreaker != nil {
+		breakerState, breakerTrips = s.proxyBreaker.snapshot()
+	}
+	return s.stats.snapshot(s.cache, s.leaseState(), fence, breakerState, breakerTrips, quarGC)
 }

@@ -40,6 +40,7 @@ type stats struct {
 	nQuarantined atomic.Uint64 // corrupt snapshots moved aside, scan + load paths
 	nRecovered   atomic.Uint64 // interrupted solves re-enqueued from checkpoints
 	ckptWrites   atomic.Uint64 // mid-solve checkpoints committed to disk
+	storeShedded atomic.Uint64 // durable writes failed or skipped while ENOSPC-degraded
 
 	// Fleet counters (fleet.go). lease_state and fence_token in /stats
 	// are not mirrored here: the server role flag and the store's fence
@@ -59,6 +60,7 @@ func (s *stats) cancelled()       { s.nCancelled.Add(1) }
 func (s *stats) panicRecovered()  { s.nPanics.Add(1) }
 func (s *stats) upgraded()        { s.nUpgrades.Add(1) }
 func (s *stats) storeWrote()      { s.storeWrites.Add(1) }
+func (s *stats) storeShed()       { s.storeShedded.Add(1) }
 func (s *stats) recovered()       { s.nRecovered.Add(1) }
 func (s *stats) checkpointWrote() { s.ckptWrites.Add(1) }
 
@@ -153,14 +155,20 @@ type StatsSnapshot struct {
 	// CorruptQuarantined counts files moved aside as corrupt across scan
 	// and load paths; RecoveredSolves counts interrupted solves
 	// re-enqueued from checkpoints after a restart.
-	StoreWrites        uint64  `json:"store_writes"`
-	StoreLoads         uint64  `json:"store_loads"`
-	StoreLoadErrors    uint64  `json:"store_load_errors"`
-	CorruptQuarantined uint64  `json:"corrupt_quarantined"`
-	RecoveredSolves    uint64  `json:"recovered_solves"`
-	CheckpointWrites   uint64  `json:"checkpoint_writes"`
-	AvgSolveMs         float64 `json:"avg_solve_ms"`
-	MaxSolveMs         float64 `json:"max_solve_ms"`
+	StoreWrites        uint64 `json:"store_writes"`
+	StoreLoads         uint64 `json:"store_loads"`
+	StoreLoadErrors    uint64 `json:"store_load_errors"`
+	CorruptQuarantined uint64 `json:"corrupt_quarantined"`
+	RecoveredSolves    uint64 `json:"recovered_solves"`
+	CheckpointWrites   uint64 `json:"checkpoint_writes"`
+	// StoreWriteShed counts durable writes failed or deliberately
+	// skipped while the store was ENOSPC-degraded; QuarantineGCBytes is
+	// the cumulative size the bounded quarantine sweeper has reclaimed.
+	// Both zero in healthy steady state.
+	StoreWriteShed    uint64  `json:"store_write_shed"`
+	QuarantineGCBytes uint64  `json:"quarantine_gc_bytes"`
+	AvgSolveMs        float64 `json:"avg_solve_ms"`
+	MaxSolveMs        float64 `json:"max_solve_ms"`
 	// Fleet membership. LeaseState is solo/leader/follower; FenceToken
 	// is the lease fencing token stamped into this process's commits (0
 	// while not leading); LeaseRenewals and LeaseLosses count heartbeat
@@ -173,6 +181,11 @@ type StatsSnapshot struct {
 	LeaseLosses   uint64 `json:"lease_losses"`
 	ProxiedSolves uint64 `json:"proxied_solves"`
 	RefreshLoads  uint64 `json:"refresh_loads"`
+	// ProxyBreakerState is the follower→leader proxy circuit breaker's
+	// state (closed/open/half-open; empty outside fleet mode);
+	// ProxyBreakerTrips counts how often it has opened.
+	ProxyBreakerState string `json:"proxy_breaker_state,omitempty"`
+	ProxyBreakerTrips uint64 `json:"proxy_breaker_trips"`
 	// Mechanisms lists the cached mechanisms, most recently used first,
 	// with their ETDD so operators can watch quality loss per network.
 	Mechanisms []MechStats `json:"mechanisms"`
@@ -183,11 +196,14 @@ type StatsSnapshot struct {
 // be momentarily inconsistent across counters (hits vs. solves); that
 // is fine for a monitoring endpoint and is the price of the lock-free
 // request path.
-func (s *stats) snapshot(cache *mechCache, leaseState string, fence uint64) StatsSnapshot {
+func (s *stats) snapshot(cache *mechCache, leaseState string, fence uint64, breakerState string, breakerTrips, quarGC uint64) StatsSnapshot {
 	solves := s.solves.Load()
 	snap := StatsSnapshot{
-		LeaseState:      leaseState,
-		FenceToken:      fence,
+		LeaseState:        leaseState,
+		FenceToken:        fence,
+		ProxyBreakerState: breakerState,
+		ProxyBreakerTrips: breakerTrips,
+		QuarantineGCBytes: quarGC,
 		CacheHits:       s.hits.Load(),
 		CacheMisses:     s.misses.Load(),
 		CacheEvicted:    s.evicted.Load(),
@@ -210,6 +226,7 @@ func (s *stats) snapshot(cache *mechCache, leaseState string, fence uint64) Stat
 		CorruptQuarantined: s.nQuarantined.Load(),
 		RecoveredSolves:    s.nRecovered.Load(),
 		CheckpointWrites:   s.ckptWrites.Load(),
+		StoreWriteShed:     s.storeShedded.Load(),
 
 		LeaseRenewals: s.leaseRenews.Load(),
 		LeaseLosses:   s.leaseLosses.Load(),

@@ -45,6 +45,12 @@ const (
 	leaseLockName = "LEASE.lock"
 )
 
+// monoStart anchors the default monotonic clock for the lease guard.
+// time.Since reads Go's monotonic reading, so SIGSTOP pauses, GC stalls
+// and wall-clock steps all show up as elapsed time here even when the
+// wall clock claims otherwise.
+var monoStart = time.Now()
+
 // ErrStaleFence reports a commit attempted with a fencing token that no
 // longer matches the lease file — the writer was demoted (or never
 // elected). The payload has been quarantined, not served and not
@@ -95,10 +101,17 @@ func (s *Store) TryAcquire(owner, url string, ttl time.Duration) (uint64, bool, 
 	if ok && rec.Owner != "" && rec.Owner != owner && !rec.Expired(now) {
 		return 0, false, nil // held by a live peer
 	}
+	s.monoMu.Lock()
+	monoLost := s.monoLost
+	s.monoMu.Unlock()
 	token := rec.Token
-	if !ok || rec.Owner != owner || rec.Expired(now) {
+	if !ok || rec.Owner != owner || rec.Expired(now) || monoLost {
 		// Ownership change — including re-taking our own expired lease,
 		// where a commit from our pre-expiry self must not be trusted.
+		// A monotonic-guard loss counts too: the wall-clock record may
+		// still name us unexpired (clock stepped back, or nobody raced
+		// us during the stall), but commits from before the stall must
+		// be fenced out all the same.
 		token++
 	}
 	next := LeaseRecord{Owner: owner, URL: url, Token: token, ExpiresUnixNano: now.Add(ttl).UnixNano()}
@@ -106,6 +119,9 @@ func (s *Store) TryAcquire(owner, url string, ttl time.Duration) (uint64, bool, 
 		return 0, false, err
 	}
 	s.fence.Store(token)
+	s.monoMu.Lock()
+	s.monoValid, s.monoLost, s.monoDeadline = true, false, s.mono()+ttl
+	s.monoMu.Unlock()
 	return token, true, nil
 }
 
@@ -128,14 +144,39 @@ func (s *Store) Renew(owner string, token uint64, ttl time.Duration) (bool, erro
 	}
 	if !ok || rec.Owner != owner || rec.Token != token {
 		s.fence.CompareAndSwap(token, 0)
+		s.monoMu.Lock()
+		s.monoValid = false
+		s.monoMu.Unlock()
 		return false, nil
 	}
-	// An expired-but-untaken lease is still safely ours: any takeover
-	// would have bumped Token under the same flock we now hold.
+	// An expired-but-untaken lease is still safely ours by the on-disk
+	// protocol: any takeover would have bumped Token under the same
+	// flock we now hold. But only the monotonic clock can prove the
+	// renewal actually arrived in time — the wall clock may have
+	// stepped backward (making the record look live) or we may have
+	// been stopped for longer than the TTL. A renewal past its
+	// monotonic deadline is treated as lease loss: fence cleared so
+	// in-flight commits fail fast, and the loss is remembered so the
+	// next TryAcquire bumps the token even though the record still
+	// names us.
+	s.monoMu.Lock()
+	late := s.monoValid && s.mono() > s.monoDeadline
+	if late {
+		s.monoValid = false
+		s.monoLost = true
+	}
+	s.monoMu.Unlock()
+	if late {
+		s.fence.CompareAndSwap(token, 0)
+		return false, nil
+	}
 	rec.ExpiresUnixNano = s.now().Add(ttl).UnixNano()
 	if err := s.writeLease(rec); err != nil {
 		return false, err
 	}
+	s.monoMu.Lock()
+	s.monoValid, s.monoDeadline = true, s.mono()+ttl
+	s.monoMu.Unlock()
 	return true, nil
 }
 
@@ -152,6 +193,9 @@ func (s *Store) Release(owner string, token uint64) error {
 	}
 	defer unlockLease(lock)
 	s.fence.CompareAndSwap(token, 0)
+	s.monoMu.Lock()
+	s.monoValid = false
+	s.monoMu.Unlock()
 	rec, ok, err := s.readLease()
 	if err != nil || !ok || rec.Owner != owner || rec.Token != token {
 		return err

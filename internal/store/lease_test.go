@@ -325,3 +325,77 @@ func TestFleetSingleWriter(t *testing.T) {
 		t.Fatalf("non-leader value committed: fence %d etdd %v", got.Fence, got.ETDD)
 	}
 }
+
+// TestLeaseMonotonicGuard: the wall-clock record can lie (clock stepped
+// back, or nobody raced us during a SIGSTOP), but the monotonic clock
+// cannot. A renewal that arrives past its monotonic deadline must be
+// treated as lease loss — fence cleared — and the next TryAcquire must
+// bump the token even though the on-disk record still names us,
+// unexpired.
+func TestLeaseMonotonicGuard(t *testing.T) {
+	dir := t.TempDir()
+	s := openFleetStore(t, dir)
+	var mono time.Duration
+	s.mono = func() time.Duration { return mono }
+
+	tok, ok, err := s.TryAcquire("a", "http://a", time.Minute)
+	if err != nil || !ok {
+		t.Fatalf("acquire: ok %v err %v", ok, err)
+	}
+
+	// A timely renew extends the monotonic deadline.
+	mono = 30 * time.Second
+	if ok, err := s.Renew("a", tok, time.Minute); err != nil || !ok {
+		t.Fatalf("timely renew: ok %v err %v", ok, err)
+	}
+
+	// Stall past the TTL: the renewal is late by the monotonic clock.
+	// s.now was never swapped, so the wall-clock record is unexpired and
+	// still ours — the guard alone must detect the loss.
+	mono = 30*time.Second + 61*time.Second
+	if ok, err := s.Renew("a", tok, time.Minute); err != nil || ok {
+		t.Fatalf("late renew succeeded: ok %v err %v", ok, err)
+	}
+	if s.Fence() != 0 {
+		t.Fatalf("late renewer kept fence %d", s.Fence())
+	}
+	rec, found, err := s.LeaseHolder()
+	if err != nil || !found || rec.Owner != "a" || rec.Expired(time.Now()) {
+		t.Fatalf("precondition broken: record %+v found %v err %v, want unexpired and ours", rec, found, err)
+	}
+
+	// A commit from the pre-stall epoch may be in flight, so re-taking
+	// the still-named lease must mint a fresh token.
+	tok2, ok, err := s.TryAcquire("a", "http://a", time.Minute)
+	if err != nil || !ok || tok2 != tok+1 {
+		t.Fatalf("re-acquire after mono loss: token %d ok %v err %v, want %d", tok2, ok, err, tok+1)
+	}
+
+	// The guard is re-armed, not latched: timely renews work again.
+	mono += 30 * time.Second
+	if ok, err := s.Renew("a", tok2, time.Minute); err != nil || !ok {
+		t.Fatalf("renew after re-acquire: ok %v err %v", ok, err)
+	}
+}
+
+// TestLeaseMonotonicGuardBlocksCommit: after a monotonic-late renewal
+// the fence is cleared, so an in-flight commit fails with ErrStaleFence
+// instead of racing the (possibly elected) peer.
+func TestLeaseMonotonicGuardBlocksCommit(t *testing.T) {
+	dir := t.TempDir()
+	s := openFleetStore(t, dir)
+	var mono time.Duration
+	s.mono = func() time.Duration { return mono }
+
+	if _, ok, err := s.TryAcquire("a", "http://a", time.Minute); err != nil || !ok {
+		t.Fatalf("acquire: ok %v err %v", ok, err)
+	}
+	mono = 2 * time.Minute
+	if ok, err := s.Renew("a", s.Fence(), time.Minute); err != nil || ok {
+		t.Fatalf("late renew succeeded: ok %v err %v", ok, err)
+	}
+	e := testEntry(t, 34, 3)
+	if err := s.WriteEntry(e); !errors.Is(err, ErrStaleFence) {
+		t.Fatalf("post-stall commit: %v, want ErrStaleFence", err)
+	}
+}

@@ -1,0 +1,110 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func quarNames(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	out := make(map[string]bool)
+	des, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return out
+		}
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		out[de.Name()] = true
+	}
+	return out
+}
+
+// TestQuarantineSweeperAgeAndCap: the sweeper removes age-expired files
+// unconditionally, then prunes oldest-first down to the byte cap, and
+// accounts every byte it frees.
+func TestQuarantineSweeperAgeAndCap(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qdir := filepath.Join(dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, size int, age time.Duration) {
+		t.Helper()
+		p := filepath.Join(qdir, name)
+		if err := os.WriteFile(p, make([]byte, size), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mt := time.Now().Add(-age)
+		if err := os.Chtimes(p, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("ancient.mech", 100, 48*time.Hour) // past quarMaxAge
+	write("middle.mech", 100, 2*time.Hour)
+	write("fresh.mech", 100, time.Minute)
+
+	// Age pass: only the expired file goes.
+	s.sweepQuarantine()
+	got := quarNames(t, dir)
+	if got["ancient.mech"] || !got["middle.mech"] || !got["fresh.mech"] {
+		t.Fatalf("after age sweep: %v", got)
+	}
+	if b := s.QuarantineGCBytes(); b != 100 {
+		t.Fatalf("gc bytes after age sweep: %d, want 100", b)
+	}
+
+	// Cap pass: tighten the cap below the two survivors; the older one
+	// goes first and the sweep stops at the cap.
+	s.quarCap = 150
+	s.sweepQuarantine()
+	got = quarNames(t, dir)
+	if got["middle.mech"] || !got["fresh.mech"] {
+		t.Fatalf("after cap sweep: %v", got)
+	}
+	if b := s.QuarantineGCBytes(); b != 200 {
+		t.Fatalf("gc bytes after cap sweep: %d, want 200", b)
+	}
+}
+
+// TestQuarantineSweeperRunsOnScanAndInsert: corrupt files quarantined by
+// a scan are themselves subject to the bounds — a later scan with the
+// retention aged out removes them, so repeated corruption cannot grow
+// the directory without limit.
+func TestQuarantineSweeperRunsOnScanAndInsert(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bogus.junk"), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quarantined != 1 {
+		t.Fatalf("quarantined %d, want 1", rep.Quarantined)
+	}
+	if got := quarNames(t, dir); !got["bogus.junk"] {
+		t.Fatalf("junk not quarantined: %v", got)
+	}
+
+	// Age everything out; the next insert-triggered sweep clears it.
+	s.quarMaxAge = 0
+	s.quarantine("nonexistent") // insert path: rename fails, sweep still runs
+	if got := quarNames(t, dir); len(got) != 0 {
+		t.Fatalf("aged-out quarantine survived: %v", got)
+	}
+	if b := s.QuarantineGCBytes(); b == 0 {
+		t.Fatal("gc bytes not accounted")
+	}
+}

@@ -47,6 +47,9 @@ const (
 	FaultSiteQuarantine = "store/quarantine"
 	FaultSiteRefresh    = "store/refresh"
 	FaultSiteDirSync    = "store/dirsync"
+	// FaultSiteQuarantineGC covers the bounded quarantine sweeper's
+	// directory walk; an injected failure just defers the sweep.
+	FaultSiteQuarantineGC = "store/quarantine/gc"
 )
 
 const (
@@ -54,6 +57,14 @@ const (
 	checkpointExt = ".ckpt"
 	tmpPrefix     = "tmp-"
 	quarantineDir = "quarantine"
+
+	// Quarantine retention bounds: files older than quarantineMaxAge are
+	// swept, and the directory is kept under quarantineCapBytes
+	// oldest-first. Repeated corruption (or a flapping demoted leader
+	// endlessly fencing out commits) must not be able to fill the disk
+	// with forensic payloads.
+	quarantineCapBytes = int64(64 << 20)
+	quarantineMaxAge   = 24 * time.Hour
 
 	// debrisGrace is how old a temp file must be before Scan removes it
 	// as crash debris. In a fleet, a peer may be mid-commit right now;
@@ -91,6 +102,27 @@ type Store struct {
 	fence atomic.Uint64
 	// now is the clock, swappable by tests for lease-expiry scenarios.
 	now func() time.Time
+	// mono is the monotonic clock backing the lease guard in lease.go,
+	// swappable by tests for skew scenarios. Unlike now it cannot jump:
+	// a renewal that arrives late by mono missed its deadline no matter
+	// what the wall clock claims.
+	mono func() time.Duration
+
+	// Monotonic lease guard state (lease.go). monoDeadline is the
+	// monotonic instant our lease expires; monoLost records that a
+	// renewal missed it, forcing the next TryAcquire to bump the token
+	// even if the wall-clock record still names us unexpired.
+	monoMu       sync.Mutex
+	monoValid    bool
+	monoLost     bool
+	monoDeadline time.Duration
+
+	// Quarantine sweeper bounds (lowercase: tests tighten them) and the
+	// bytes-freed counter surfaced as /stats quarantine_gc_bytes.
+	quarCap    int64
+	quarMaxAge time.Duration
+	quarMu     sync.Mutex
+	quarSwept  atomic.Uint64
 
 	// Scan cache: per-file (size, mtime) stamps plus the decoded result,
 	// so repeated scans re-read only files that actually changed.
@@ -128,7 +160,15 @@ func open(dir string, fleet bool) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{dir: dir, fleet: fleet, now: time.Now, scanCache: make(map[string]scanCached)}, nil
+	return &Store{
+		dir:        dir,
+		fleet:      fleet,
+		now:        time.Now,
+		mono:       func() time.Duration { return time.Since(monoStart) },
+		quarCap:    quarantineCapBytes,
+		quarMaxAge: quarantineMaxAge,
+		scanCache:  make(map[string]scanCached),
+	}, nil
 }
 
 // Dir returns the store's directory.
@@ -334,6 +374,9 @@ func (s *Store) Scan() (*ScanReport, error) {
 	} else {
 		s.dirValid = false
 	}
+	// Every real walk also bounds the quarantine directory, so a store
+	// that only ever scans (a follower) still ages out old forensics.
+	s.sweepQuarantine()
 	return s.reportFromCache(loaded, delta, quarantined), nil
 }
 
@@ -498,4 +541,59 @@ func (s *Store) quarantine(name string) {
 	if err := os.Rename(src, filepath.Join(qdir, name)); err != nil {
 		_ = os.Remove(src)
 	}
+	s.sweepQuarantine()
 }
+
+// sweepQuarantine bounds the quarantine subdirectory: files older than
+// quarMaxAge are removed, then oldest-first until the total size fits
+// quarCap. Freed bytes accumulate in quarSwept. Best-effort like
+// quarantine itself — any failure just defers the sweep to the next
+// insert or scan.
+func (s *Store) sweepQuarantine() {
+	s.quarMu.Lock()
+	defer s.quarMu.Unlock()
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if _, err := os.Stat(qdir); err != nil {
+		return
+	}
+	if ferr := faultinject.At(FaultSiteQuarantineGC); ferr != nil {
+		return
+	}
+	des, err := os.ReadDir(qdir)
+	if err != nil {
+		return
+	}
+	type qfile struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	files := make([]qfile, 0, len(des))
+	var total int64
+	for _, de := range des {
+		fi, ierr := de.Info()
+		if ierr != nil || de.IsDir() {
+			continue
+		}
+		files = append(files, qfile{de.Name(), fi.Size(), fi.ModTime()})
+		total += fi.Size()
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	now := s.now()
+	// Oldest first: age-expired files always go; once the remainder is
+	// young enough, keep deleting only while still over the cap. The
+	// sort makes one pass sufficient — every later file is newer.
+	for _, f := range files {
+		if now.Sub(f.mtime) <= s.quarMaxAge && total <= s.quarCap {
+			break
+		}
+		if rerr := os.Remove(filepath.Join(qdir, f.name)); rerr == nil {
+			total -= f.size
+			s.quarSwept.Add(uint64(f.size))
+		}
+	}
+}
+
+// QuarantineGCBytes returns the cumulative bytes the quarantine sweeper
+// has freed — the /stats quarantine_gc_bytes source.
+func (s *Store) QuarantineGCBytes() uint64 { return s.quarSwept.Load() }
