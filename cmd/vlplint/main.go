@@ -3,12 +3,23 @@
 // solver stack's safety contracts — the Geo-I repair gate, lock-free
 // stats counters, context plumbing, tolerance-based float comparison,
 // chaos-suite fault coverage, and kernel determinism — plus nilness and
-// shadow checks that go vet does not run by default.
+// shadow checks that go vet does not run by default, and the
+// whole-program analyzers (privtaint, lockorder, errflow, goctx) that
+// track taint, lock order, error flow, and goroutine lifecycles across
+// function and package boundaries.
 //
 // Usage:
 //
-//	go run ./cmd/vlplint ./...      # analyze the whole module (ci.sh gate)
-//	go run ./cmd/vlplint -list      # print the invariant catalogue
+//	go run ./cmd/vlplint ./...               # analyze the whole module (ci.sh gate)
+//	go run ./cmd/vlplint -list               # print the invariant catalogue
+//	go run ./cmd/vlplint -json ./...         # machine-readable findings on stdout
+//	go run ./cmd/vlplint -baseline lint.baseline.json ./...
+//
+// With -baseline, findings recorded in the given JSON file (the same
+// schema -json emits) are subtracted before the exit code is decided.
+// The checked-in baseline is empty — the tree owes zero findings — and
+// exists so a future emergency can land with a recorded debt instead
+// of a weakened analyzer.
 //
 // vlplint exits non-zero if any finding survives; a false positive is
 // silenced in the source with
@@ -21,9 +32,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"repro/internal/lint/analysis"
@@ -34,11 +47,23 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and their scopes, then exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	baselinePath := flag.String("baseline", "", "JSON file of known findings to subtract (the ratchet)")
 	flag.Parse()
 
 	suite := registry.All()
 	if *list {
-		for _, s := range suite {
+		// Sorted by scope then analyzer name so the catalogue (and any
+		// diff over it) is stable.
+		rows := make([]registry.Scoped, len(suite))
+		copy(rows, suite)
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].Scope.String() != rows[j].Scope.String() {
+				return rows[i].Scope.String() < rows[j].Scope.String()
+			}
+			return rows[i].Analyzer.Name < rows[j].Analyzer.Name
+		})
+		for _, s := range rows {
 			fmt.Printf("%-12s scope %-50s %s\n", s.Analyzer.Name, s.Scope, s.Why)
 		}
 		return
@@ -48,28 +73,56 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	findings, err := run(suite, patterns)
+	records, err := run(suite, patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vlplint:", err)
 		os.Exit(2)
 	}
-	sort.Strings(findings)
-	for _, f := range findings {
-		fmt.Println(f)
+	if *baselinePath != "" {
+		records, err = subtractBaseline(records, *baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vlplint:", err)
+			os.Exit(2)
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "vlplint: %d finding(s)\n", len(findings))
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if records == nil {
+			records = []record{}
+		}
+		if err := enc.Encode(records); err != nil {
+			fmt.Fprintln(os.Stderr, "vlplint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, r := range records {
+			fmt.Printf("%s:%d:%d: %s (%s)\n", r.File, r.Line, r.Col, r.Message, r.Analyzer)
+		}
+	}
+	if len(records) > 0 {
+		fmt.Fprintf(os.Stderr, "vlplint: %d finding(s)\n", len(records))
 		os.Exit(1)
 	}
 }
 
-// finding is one post-suppression diagnostic with its analyzer tag.
+// record is one finding in output order: file, line, col, analyzer,
+// message — the sort key and the JSON schema are the same thing.
+type record struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// finding is one pre-suppression diagnostic with its analyzer tag.
 type finding struct {
 	analyzer string
 	d        analysis.Diagnostic
 }
 
-func run(suite []registry.Scoped, patterns []string) ([]string, error) {
+func run(suite []registry.Scoped, patterns []string) ([]record, error) {
 	l, err := loader.New(".")
 	if err != nil {
 		return nil, err
@@ -88,19 +141,33 @@ func run(suite []registry.Scoped, patterns []string) ([]string, error) {
 		}
 		pkgs = append(pkgs, ps...)
 	}
+	requested := make(map[string]bool, len(pkgs))
+	for _, pkg := range pkgs {
+		requested[pkg.Path] = true
+	}
 
 	var all []finding
 	var ignores []directive.Ignore
-	var out []string
+	var records []record
+	rel := func(filename string) string {
+		if r, err := filepath.Rel(l.ModuleRoot, filename); err == nil {
+			return filepath.ToSlash(r)
+		}
+		return filename
+	}
 	for _, pkg := range pkgs {
 		ok, malformed := directive.Parse(pkg.Fset, pkg.Files)
 		ignores = append(ignores, ok...)
 		for _, m := range malformed {
 			pos := pkg.Fset.Position(m.Pos)
-			out = append(out, fmt.Sprintf("%s: malformed //lint:ignore directive: need `//lint:ignore analyzer[,analyzer] reason`", pos))
+			records = append(records, record{
+				File: rel(pos.Filename), Line: pos.Line, Col: pos.Column,
+				Analyzer: "directive",
+				Message:  "malformed //lint:ignore directive: need `//lint:ignore analyzer[,analyzer] reason`",
+			})
 		}
 		for _, s := range suite {
-			if !s.Scope.MatchString(pkg.Path) {
+			if s.Analyzer.Run == nil || !s.Scope.MatchString(pkg.Path) {
 				continue
 			}
 			a := s.Analyzer
@@ -116,6 +183,38 @@ func run(suite []registry.Scoped, patterns []string) ([]string, error) {
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
 			}
+		}
+	}
+	// Whole-program analyzers see everything the loader pulled in —
+	// summaries must cross package boundaries — but only report inside
+	// packages that were both requested and in scope.
+	var passes []*analysis.Pass
+	for _, p := range l.Loaded() {
+		passes = append(passes, &analysis.Pass{
+			Fset:      p.Fset,
+			Files:     p.Files,
+			Pkg:       p.Types,
+			TypesInfo: p.Info,
+		})
+	}
+	for _, s := range suite {
+		if s.Analyzer.RunProgram == nil {
+			continue
+		}
+		a := s.Analyzer
+		scope := s.Scope
+		pp := &analysis.ProgramPass{
+			Fset:     l.Fset(),
+			Packages: passes,
+			InScope: func(pkgPath string) bool {
+				return requested[pkgPath] && scope.MatchString(pkgPath)
+			},
+			Report: func(d analysis.Diagnostic) {
+				all = append(all, finding{a.Name, d})
+			},
+		}
+		if err := a.RunProgram(pp); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
 	// Cross-package finishers (faultpoint's uniqueness check).
@@ -140,12 +239,61 @@ func run(suite []registry.Scoped, patterns []string) ([]string, error) {
 			}
 		}
 		if !suppressed {
-			out = append(out, fmt.Sprintf("%s: %s (%s)", pos, f.d.Message, f.analyzer))
+			records = append(records, record{
+				File: rel(pos.Filename), Line: pos.Line, Col: pos.Column,
+				Analyzer: f.analyzer, Message: f.d.Message,
+			})
 		}
 	}
 	for i, ig := range ignores {
 		if !used[i] {
-			out = append(out, fmt.Sprintf("%s:%d: //lint:ignore directive suppresses nothing; delete it", ig.File, ig.Line))
+			records = append(records, record{
+				File: rel(ig.File), Line: ig.Line, Col: 1,
+				Analyzer: "directive",
+				Message:  "//lint:ignore directive suppresses nothing; delete it",
+			})
+		}
+	}
+	sort.Slice(records, func(i, j int) bool {
+		a, b := records[i], records[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return records, nil
+}
+
+// subtractBaseline removes findings recorded in the baseline file.
+// Matching ignores line/col so a baseline survives unrelated edits to
+// the same file.
+func subtractBaseline(records []record, path string) ([]record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var base []record
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	type key struct{ file, analyzer, message string }
+	known := make(map[key]bool, len(base))
+	for _, b := range base {
+		known[key{b.File, b.Analyzer, b.Message}] = true
+	}
+	var out []record
+	for _, r := range records {
+		if !known[key{r.File, r.Analyzer, r.Message}] {
+			out = append(out, r)
 		}
 	}
 	return out, nil

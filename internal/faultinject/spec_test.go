@@ -77,6 +77,90 @@ func TestParseSpecGrammar(t *testing.T) {
 	}
 }
 
+// TestParseSpecEdgeCases pins the grammar's corners: empty and
+// whitespace-only specs, duplicate sites (last entry wins, matching
+// "later flags override earlier" CLI convention), the times bound,
+// unknown actions, and exactly where whitespace is forgiven.
+func TestParseSpecEdgeCases(t *testing.T) {
+	t.Run("empty and blank specs arm nothing", func(t *testing.T) {
+		for _, spec := range []string{"", "   ", ",", " , , ", ",,,"} {
+			f, err := ParseSpec(spec)
+			if err != nil || len(f) != 0 {
+				t.Errorf("ParseSpec(%q) = (%v, %v), want empty map", spec, f, err)
+			}
+		}
+	})
+
+	t.Run("duplicate site last wins", func(t *testing.T) {
+		f, err := ParseSpec("a=err:first,a=err:second")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f) != 1 || f["a"] == nil || f["a"].Err.Error() != "second" {
+			t.Fatalf("got %+v, want the later entry to win", f["a"])
+		}
+		// An off entry overrides an earlier arm of the same site.
+		f, err = ParseSpec("a=err,a=off")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fa, present := f["a"]; !present || fa != nil {
+			t.Fatalf("a=err,a=off gave (%v, %v), want an explicit nil entry", fa, present)
+		}
+	})
+
+	t.Run("times bound", func(t *testing.T) {
+		for _, spec := range []string{"a=err;times=0", "a=err;times=-2", "a=err;times=two", "a=err;times="} {
+			if _, err := ParseSpec(spec); err == nil {
+				t.Errorf("ParseSpec(%q) accepted a bad times bound", spec)
+			}
+		}
+		// times on an off entry is tolerated and discarded: there is no
+		// fault to bound.
+		f, err := ParseSpec("a=off;times=3")
+		if err != nil || f["a"] != nil {
+			t.Fatalf("a=off;times=3 gave (%v, %v)", f["a"], err)
+		}
+	})
+
+	t.Run("unknown action names the action", func(t *testing.T) {
+		_, err := ParseSpec("a=nuke")
+		if err == nil || !strings.Contains(err.Error(), `unknown action "nuke"`) {
+			t.Fatalf("ParseSpec(a=nuke) error = %v, want the action named", err)
+		}
+	})
+
+	t.Run("whitespace forgiven around entries, sites and actions", func(t *testing.T) {
+		f, err := ParseSpec("  store/w  =  err  ,\tb = delay:5ms ;times=2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f["store/w"] == nil || f["store/w"].Err == nil {
+			t.Fatalf("padded site/action not parsed: %v", f)
+		}
+		if fb := f["b"]; fb == nil || fb.Delay != 5*time.Millisecond || fb.Times != 2 {
+			t.Fatalf("padded entry with option parsed to %+v", fb)
+		}
+	})
+
+	t.Run("whitespace inside action args is preserved", func(t *testing.T) {
+		// The arg after ":" is payload, not grammar: "err: boom" keeps
+		// the leading space in the error message.
+		f, err := ParseSpec("a=err: boom")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := f["a"].Err.Error(); got != " boom" {
+			t.Fatalf("arg %q, want %q (payload untouched)", got, " boom")
+		}
+		// But space before the ":" makes the action itself unrecognised:
+		// grammar tokens do not absorb inner whitespace.
+		if _, err := ParseSpec("a=err : boom"); err == nil {
+			t.Fatal(`"err : boom" accepted; space glued to the action token should be rejected`)
+		}
+	})
+}
+
 func TestArmSpecAndEnv(t *testing.T) {
 	defer Reset()
 	if err := ArmSpec("x=err:boom;times=1"); err != nil {

@@ -34,6 +34,27 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
+// ProgramPass presents the whole loaded program — every type-checked
+// package the loader has seen, module code and its module-internal
+// dependencies alike — to an interprocedural analyzer. Packages is
+// sorted by import path so iteration order (and therefore diagnostic
+// order) is deterministic.
+type ProgramPass struct {
+	Fset     *token.FileSet
+	Packages []*Pass
+	// InScope reports whether findings in the package with the given
+	// import path should be reported. The analysis itself always sees
+	// the whole program (summaries must cross package boundaries); the
+	// scope only gates where diagnostics may land.
+	InScope func(pkgPath string) bool
+	Report  func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
 // Analyzer is one named invariant check.
 type Analyzer struct {
 	// Name identifies the analyzer in output and in //lint:ignore
@@ -41,8 +62,14 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of the enforced invariant.
 	Doc string
-	// Run inspects one package.
+	// Run inspects one package. Exactly one of Run and RunProgram is
+	// set.
 	Run func(*Pass) error
+	// RunProgram, when non-nil, marks a whole-program analyzer: instead
+	// of one Run call per package it receives every loaded package at
+	// once, so summaries (call graphs, taint, lock sets) can flow
+	// across function and package boundaries.
+	RunProgram func(*ProgramPass) error
 	// Finish, when non-nil, runs once after every pass, for invariants
 	// that span packages (faultpoint's site-name uniqueness). State
 	// accumulated by Run lives in the analyzer's package; Reset clears

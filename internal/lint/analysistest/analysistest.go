@@ -54,6 +54,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	}
 	var diags []analysis.Diagnostic
 	var allFiles []*ast.File
+	requested := make(map[string]bool)
 	for _, pkg := range pkgs {
 		dir := filepath.Join(testdata, "src", pkg)
 		if _, err := os.Stat(dir); err != nil {
@@ -63,17 +64,44 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 		if err != nil {
 			t.Fatalf("analysistest: load %s: %v", pkg, err)
 		}
-		pass := &analysis.Pass{
-			Fset:      p.Fset,
-			Files:     p.Files,
-			Pkg:       p.Types,
-			TypesInfo: p.Info,
-			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-		}
-		if err := a.Run(pass); err != nil {
-			t.Fatalf("analysistest: %s on %s: %v", a.Name, pkg, err)
+		requested[p.Path] = true
+		if a.Run != nil {
+			pass := &analysis.Pass{
+				Fset:      p.Fset,
+				Files:     p.Files,
+				Pkg:       p.Types,
+				TypesInfo: p.Info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				t.Fatalf("analysistest: %s on %s: %v", a.Name, pkg, err)
+			}
 		}
 		allFiles = append(allFiles, p.Files...)
+	}
+	if a.RunProgram != nil {
+		// A whole-program analyzer sees everything the loader pulled in
+		// (the testdata packages plus any module packages they import),
+		// but only diagnostics inside the requested testdata packages
+		// count against want comments.
+		var passes []*analysis.Pass
+		for _, p := range l.Loaded() {
+			passes = append(passes, &analysis.Pass{
+				Fset:      p.Fset,
+				Files:     p.Files,
+				Pkg:       p.Types,
+				TypesInfo: p.Info,
+			})
+		}
+		pp := &analysis.ProgramPass{
+			Fset:     l.Fset(),
+			Packages: passes,
+			InScope:  func(pkgPath string) bool { return requested[pkgPath] },
+			Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.RunProgram(pp); err != nil {
+			t.Fatalf("analysistest: %s: %v", a.Name, err)
+		}
 	}
 	if a.Finish != nil {
 		a.Finish(func(d analysis.Diagnostic) { diags = append(diags, d) })

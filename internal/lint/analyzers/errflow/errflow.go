@@ -1,0 +1,272 @@
+// Package errflow implements the errflow analyzer: errors from durable
+// I/O must flow somewhere that can act on them. A call is "durable"
+// when it is — or can reach, through the whole-program call graph —
+// one of the primitives that commit or read bytes on disk or take the
+// lease flock:
+//
+//	os.Rename, os.WriteFile, os.ReadFile, os.CreateTemp,
+//	(*os.File).Sync, syscall.Flock
+//
+// The durable set is what makes the analyzer interprocedural: a
+// wrapper three calls above os.Rename is as durable as os.Rename
+// itself. For every durable call in the scoped packages the error
+// result must be consumed; three ways of losing it are reported:
+//
+//   - the call stands alone as a statement, dropping all results
+//   - the error result is assigned to _
+//   - the error is assigned to a variable that is never read
+//
+// An error that is returned, branched on, latched (ENOSPC shed), or
+// handed to quarantine reads the variable and therefore passes. Defer
+// statements are exempt: `defer f.Close()`-style cleanup on error
+// paths is idiomatic and the primary path is checked separately.
+// Deliberate best-effort drops (shutdown-path lease release) carry a
+// reasoned //lint:ignore.
+package errflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:       "errflow",
+	Doc:        "errors from durable-I/O and lease calls must reach a return, latch, or quarantine — never dropped or left unread",
+	RunProgram: run,
+}
+
+var primitives = map[string]bool{
+	"os.Rename":       true,
+	"os.WriteFile":    true,
+	"os.ReadFile":     true,
+	"os.CreateTemp":   true,
+	"(*os.File).Sync": true,
+	"syscall.Flock":   true,
+}
+
+type checker struct {
+	g     *callgraph.Graph
+	sites map[*ast.CallExpr][]*callgraph.Node
+	memo  map[*callgraph.Node]int // 0 unknown, 1 visiting, 2 no, 3 yes
+}
+
+func run(pp *analysis.ProgramPass) error {
+	c := &checker{
+		g:     callgraph.Build(pp.Packages),
+		sites: make(map[*ast.CallExpr][]*callgraph.Node),
+		memo:  make(map[*callgraph.Node]int),
+	}
+	for _, n := range c.g.Nodes {
+		for _, e := range n.Out {
+			c.sites[e.Site] = append(c.sites[e.Site], e.Callee)
+		}
+	}
+	for _, n := range c.g.SortedNodes() {
+		if !pp.InScope(n.Pass.Pkg.Path()) || n.Decl.Body == nil {
+			continue
+		}
+		c.checkFunc(pp, n)
+	}
+	return nil
+}
+
+// durableCall reports whether this call site is durable, returning the
+// callee name for the diagnostic.
+func (c *checker) durableCall(n *callgraph.Node, call *ast.CallExpr) (string, bool) {
+	fn := analysis.Callee(n.Pass.TypesInfo, call)
+	if fn == nil {
+		return "", false
+	}
+	if primitives[fn.FullName()] {
+		return fn.Name(), true
+	}
+	for _, tgt := range c.sites[call] {
+		if c.durableNode(tgt) {
+			return fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+// durableNode memoizes "can reach a primitive" over declared functions.
+func (c *checker) durableNode(n *callgraph.Node) bool {
+	switch c.memo[n] {
+	case 2, 1:
+		return false
+	case 3:
+		return true
+	}
+	c.memo[n] = 1
+	durable := false
+	if fn := n.Func; primitives[fn.FullName()] {
+		durable = true
+	}
+	if !durable && n.Decl.Body != nil {
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			if durable {
+				return false
+			}
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := analysis.Callee(n.Pass.TypesInfo, call); fn != nil && primitives[fn.FullName()] {
+				durable = true
+				return false
+			}
+			for _, tgt := range c.sites[call] {
+				if c.durableNode(tgt) {
+					durable = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	if durable {
+		c.memo[n] = 3
+	} else {
+		c.memo[n] = 2
+	}
+	return durable
+}
+
+// lastResultIsError reports whether the call's final result is an
+// error (the Go convention errflow polices).
+func lastResultIsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		t = tuple.At(tuple.Len() - 1).Type()
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// deadCandidate is an error variable assigned from a durable call,
+// pending proof that something reads it.
+type deadCandidate struct {
+	obj    types.Object
+	pos    ast.Node
+	callee string
+}
+
+func (c *checker) checkFunc(pp *analysis.ProgramPass, n *callgraph.Node) {
+	info := n.Pass.TypesInfo
+	var candidates []deadCandidate
+	writes := make(map[*ast.Ident]bool)   // idents that are assignment targets
+	discards := make(map[*ast.Ident]bool) // bare idents assigned to _ only
+	reads := make(map[types.Object]bool)
+
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.DeferStmt:
+			return false // deferred cleanup is exempt
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && lastResultIsError(info, call) {
+				if name, durable := c.durableCall(n, call); durable {
+					pp.Reportf(call.Pos(), "error from durable call %s dropped; handle, latch, or quarantine it", name)
+				}
+				// The call's arguments may still read error vars.
+				for _, a := range call.Args {
+					markReads(info, a, reads)
+				}
+				return false
+			}
+		case *ast.AssignStmt:
+			allBlank := true
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					writes[id] = true
+					if id.Name != "_" {
+						allBlank = false
+					}
+				} else {
+					allBlank = false
+				}
+			}
+			if allBlank {
+				// `_ = err` silences the compiler, not the error: a
+				// blank-assign of a bare variable is a discard, not a
+				// read.
+				for _, r := range s.Rhs {
+					if id, ok := ast.Unparen(r).(*ast.Ident); ok {
+						discards[id] = true
+					}
+				}
+			}
+			c.checkAssign(pp, n, s.Lhs, s.Rhs, s, &candidates)
+		}
+		return true
+	})
+	// Second pass: every identifier use that is neither an assignment
+	// target nor a blank-discard is a read.
+	ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok || writes[id] || discards[id] {
+			return true
+		}
+		if obj := info.Uses[id]; obj != nil {
+			reads[obj] = true
+		}
+		return true
+	})
+	for _, cand := range candidates {
+		if !reads[cand.obj] {
+			pp.Reportf(cand.pos.Pos(), "error from durable call %s assigned to %s but never read", cand.callee, cand.obj.Name())
+		}
+	}
+}
+
+// checkAssign flags `_` in the error slot of a durable call and
+// registers named error variables as dead-read candidates.
+func (c *checker) checkAssign(pp *analysis.ProgramPass, n *callgraph.Node, lhs, rhs []ast.Expr, at ast.Node, candidates *[]deadCandidate) {
+	info := n.Pass.TypesInfo
+	if len(rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr)
+	if !ok || !lastResultIsError(info, call) {
+		return
+	}
+	name, durable := c.durableCall(n, call)
+	if !durable {
+		return
+	}
+	errSlot := lhs[len(lhs)-1]
+	id, ok := errSlot.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if id.Name == "_" {
+		pp.Reportf(at.Pos(), "error from durable call %s discarded with _; handle, latch, or quarantine it", name)
+		return
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj != nil {
+		*candidates = append(*candidates, deadCandidate{obj: obj, pos: at, callee: name})
+	}
+}
+
+// markReads records every object used inside an expression as read.
+func markReads(info *types.Info, e ast.Expr, reads map[types.Object]bool) {
+	ast.Inspect(e, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				reads[obj] = true
+			}
+		}
+		return true
+	})
+}

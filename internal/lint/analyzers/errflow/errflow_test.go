@@ -1,0 +1,11 @@
+package errflow
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+func TestErrflow(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "errflow", "errflow_clean")
+}

@@ -1,0 +1,27 @@
+// Violating package: errors from durable calls are dropped. The
+// durable primitive (os.WriteFile) is buried two wrappers below the
+// call sites, so every finding requires call-graph reachability.
+package errflow
+
+import "os"
+
+func write(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func save(path string, data []byte) error {
+	return write(path, data)
+}
+
+func dropStatement(path string) {
+	save(path, nil) // want `error from durable call save dropped`
+}
+
+func dropBlank(path string) {
+	_ = save(path, nil) // want `error from durable call save discarded with _`
+}
+
+func dropDead(path string) {
+	err := save(path, nil) // want `error from durable call save assigned to err but never read`
+	_ = err
+}

@@ -1,0 +1,42 @@
+// Clean package: every durable error reaches a return, a check, or a
+// quarantine handler; deferred cleanup and non-durable drops are
+// exempt — the analyzer must stay silent.
+package errflow_clean
+
+import (
+	"fmt"
+	"os"
+)
+
+func write(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func save(path string, data []byte) error {
+	return write(path, data)
+}
+
+func quarantine(err error) {}
+
+func returned(path string) error {
+	return save(path, nil)
+}
+
+func checked(path string) {
+	if err := save(path, nil); err != nil {
+		quarantine(err)
+	}
+}
+
+func handed(path string) {
+	err := save(path, nil)
+	quarantine(err)
+}
+
+func deferred(path string) {
+	defer save(path, nil)
+}
+
+func nonDurable() {
+	fmt.Println("not durable, drop away")
+}

@@ -1,0 +1,167 @@
+// Package goctx implements the goctx analyzer: every spawned goroutine
+// must be cancellable or joined. A `go` statement passes if the
+// spawned body — or any module function reachable from it through the
+// call graph — does at least one of:
+//
+//   - check a context: call Done, Err, or Deadline on a value whose
+//     type is named Context
+//   - signal a join: call Done on a WaitGroup, close a channel, or
+//     send on a channel (the drain idiom)
+//
+// Otherwise the goroutine can outlive shutdown with no way to stop it,
+// and the analyzer reports the `go` statement. The reachability search
+// is what makes the check interprocedural: `go s.loop(ctx)` passes
+// because loop's transitive body selects on ctx.Done, even though the
+// go statement itself shows none of that.
+package goctx
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:       "goctx",
+	Doc:        "every spawned goroutine must be cancellable (reach a ctx check) or joined (WaitGroup, channel close/send)",
+	RunProgram: run,
+}
+
+type checker struct {
+	g     *callgraph.Graph
+	sites map[*ast.CallExpr][]*callgraph.Node
+	memo  map[*callgraph.Node]int // 0 unknown, 1 visiting, 2 no, 3 yes
+}
+
+func run(pp *analysis.ProgramPass) error {
+	c := &checker{
+		g:     callgraph.Build(pp.Packages),
+		sites: make(map[*ast.CallExpr][]*callgraph.Node),
+		memo:  make(map[*callgraph.Node]int),
+	}
+	for _, n := range c.g.Nodes {
+		for _, e := range n.Out {
+			c.sites[e.Site] = append(c.sites[e.Site], e.Callee)
+		}
+	}
+	for _, n := range c.g.SortedNodes() {
+		if !pp.InScope(n.Pass.Pkg.Path()) || n.Decl.Body == nil {
+			continue
+		}
+		nn := n
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			gs, ok := x.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !c.spawnOK(nn, gs) {
+				pp.Reportf(gs.Pos(), "goroutine is not cancellable or joined: no ctx.Done/Err check, WaitGroup.Done, or channel close/send reachable from the spawned body")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// spawnOK reports whether the goroutine spawned by gs is cancellable
+// or joined.
+func (c *checker) spawnOK(n *callgraph.Node, gs *ast.GoStmt) bool {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return c.bodyOK(n, lit.Body)
+	}
+	for _, tgt := range c.sites[gs.Call] {
+		if c.nodeOK(tgt) {
+			return true
+		}
+	}
+	// A spawned call with no module target (external or func value):
+	// nothing to prove against; stay silent rather than guess.
+	return len(c.sites[gs.Call]) == 0
+}
+
+// nodeOK memoizes bodyOK over declared functions, tolerating recursion.
+func (c *checker) nodeOK(n *callgraph.Node) bool {
+	switch c.memo[n] {
+	case 2:
+		return false
+	case 3:
+		return true
+	case 1:
+		return false // recursive cycle: let the outer frame decide
+	}
+	if n.Decl.Body == nil {
+		return false
+	}
+	c.memo[n] = 1
+	ok := c.bodyOK(n, n.Decl.Body)
+	if ok {
+		c.memo[n] = 3
+	} else {
+		c.memo[n] = 2
+	}
+	return ok
+}
+
+// bodyOK scans one body for a cancel/join signal, following module
+// calls transitively.
+func (c *checker) bodyOK(n *callgraph.Node, body *ast.BlockStmt) bool {
+	ok := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch v := x.(type) {
+		case *ast.SendStmt:
+			ok = true
+			return false
+		case *ast.CallExpr:
+			if isClose(n, v) || c.callOK(n, v) {
+				ok = true
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// callOK reports whether one call is itself a cancel/join signal or
+// leads to one through a module callee.
+func (c *checker) callOK(n *callgraph.Node, call *ast.CallExpr) bool {
+	if fn := analysis.Callee(n.Pass.TypesInfo, call); fn != nil {
+		recv := ""
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if named := analysis.NamedType(sig.Recv().Type()); named != nil {
+				recv = named.Obj().Name()
+			}
+		}
+		switch recv {
+		case "Context":
+			if fn.Name() == "Done" || fn.Name() == "Err" || fn.Name() == "Deadline" {
+				return true
+			}
+		case "WaitGroup":
+			if fn.Name() == "Done" {
+				return true
+			}
+		}
+	}
+	for _, tgt := range c.sites[call] {
+		if c.nodeOK(tgt) {
+			return true
+		}
+	}
+	return false
+}
+
+// isClose reports a close(ch) builtin call.
+func isClose(n *callgraph.Node, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := n.Pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "close"
+}

@@ -1,0 +1,11 @@
+package goctx
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+func TestGoctx(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "goctx", "goctx_clean")
+}

@@ -1,0 +1,31 @@
+// Violating package: goroutines with no cancellation or join signal
+// anywhere in their transitive bodies. The spawned work is in separate
+// functions, so the check must walk the call graph to prove there is
+// no ctx check downstream either.
+package goctx
+
+type Context struct{}
+
+func (c *Context) Done() chan struct{} { return nil }
+func (c *Context) Err() error          { return nil }
+
+func spin() {
+	for {
+	}
+}
+
+func forever() {
+	spin()
+}
+
+func start() {
+	go forever() // want `goroutine is not cancellable or joined`
+}
+
+func startLit(n int) {
+	go func() { // want `goroutine is not cancellable or joined`
+		for i := 0; i < n; i++ {
+			spin()
+		}
+	}()
+}

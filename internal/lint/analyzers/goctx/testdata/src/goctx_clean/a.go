@@ -1,0 +1,58 @@
+// Clean package: every goroutine is cancellable (a ctx check sits
+// somewhere in the transitive body) or joined (WaitGroup.Done, channel
+// close, or send) — the analyzer must stay silent.
+package goctx_clean
+
+type Context struct{}
+
+func (c *Context) Done() chan struct{} { return nil }
+func (c *Context) Err() error          { return nil }
+
+type WaitGroup struct{ n int }
+
+func (w *WaitGroup) Add(d int) {}
+func (w *WaitGroup) Done()     {}
+func (w *WaitGroup) Wait()     {}
+
+// The ctx check is two calls down: interprocedural pass.
+func loop(ctx *Context) {
+	for {
+		if step(ctx) {
+			return
+		}
+	}
+}
+
+func step(ctx *Context) bool {
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+func start(ctx *Context) {
+	go loop(ctx)
+}
+
+func joined(wg *WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func closer() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	return done
+}
+
+func drains(out chan int) {
+	go func() {
+		out <- 1
+	}()
+}

@@ -1,0 +1,480 @@
+// Package lockorder implements the lockorder analyzer: all code paths
+// must acquire locks in one global order. It builds a whole-program
+// lock graph — an edge A → B for every site that acquires B while
+// (possibly transitively, through module calls) holding A — and
+// reports every edge that participates in a cycle, plus re-acquisition
+// of a lock already held.
+//
+// Lock identity is structural, not per-instance: s.mu on a *Server
+// receiver is the lock "Server.mu" everywhere, a package-level or
+// local mutex is its variable name, and the lease flock (functions
+// named lockLease/unlockLease) is the lock "LEASE.flock". Acquire
+// sites are calls to methods named Lock/RLock (sync) or lock (the
+// ctx-aware mutexes); Unlock/RUnlock/unlock release. Deferred releases
+// hold to function end, matching the dominant idiom.
+//
+// Goroutine bodies start with an empty held set — a spawned goroutine
+// is not ordered after the locks its spawner holds — and lock
+// acquisitions inside goroutine bodies are not charged to callers
+// either. Branch bodies see a copy of the held set, so an early-return
+// unlock cannot leak releases into the fallthrough path.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:       "lockorder",
+	Doc:        "lock acquisition must follow one global order across mutexes and the lease flock; any cycle is a potential deadlock",
+	RunProgram: run,
+}
+
+var acquireNames = map[string]bool{"Lock": true, "RLock": true, "lock": true}
+var releaseNames = map[string]bool{"Unlock": true, "RUnlock": true, "unlock": true}
+
+// edge is one observed ordering: to acquired while holding from.
+type edge struct{ from, to string }
+
+type site struct {
+	pos token.Pos
+	pkg string
+}
+
+type checker struct {
+	g     *callgraph.Graph
+	edges map[edge]site // first site observed per ordering
+	// acquires memoizes the set of locks a function (or its module
+	// callees, goroutine bodies excluded) can acquire.
+	acquires  map[*callgraph.Node]map[string]bool
+	visiting  map[*callgraph.Node]bool
+	siteIndex map[*ast.CallExpr][]*callgraph.Node
+}
+
+func run(pp *analysis.ProgramPass) error {
+	c := &checker{
+		g:        callgraph.Build(pp.Packages),
+		edges:    make(map[edge]site),
+		acquires: make(map[*callgraph.Node]map[string]bool),
+		visiting: make(map[*callgraph.Node]bool),
+	}
+	for _, n := range c.g.SortedNodes() {
+		if n.Decl.Body != nil {
+			c.walkStmts(n, n.Decl.Body.List, nil)
+		}
+	}
+	c.report(pp)
+	return nil
+}
+
+// lockID names the lock a call acquires or releases, or "" if the call
+// is not a lock operation. ok distinguishes acquire from release.
+func lockID(info *typesInfo, call *ast.CallExpr) (id string, acquire, isLock bool) {
+	fn := analysis.Callee(info.info, call)
+	if fn == nil {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "lockLease":
+		return "LEASE.flock", true, true
+	case "unlockLease":
+		return "LEASE.flock", false, true
+	}
+	isAcq, isRel := acquireNames[fn.Name()], releaseNames[fn.Name()]
+	if !isAcq && !isRel {
+		return "", false, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	return lockName(info, sel.X), isAcq, true
+}
+
+// lockName derives the structural identity of the mutex expression:
+// "OwnerType.field" for field selections, the variable name otherwise.
+func lockName(info *typesInfo, x ast.Expr) string {
+	x = ast.Unparen(x)
+	if sel, ok := x.(*ast.SelectorExpr); ok {
+		if s, ok := info.info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+			if named := analysis.NamedType(s.Recv()); named != nil {
+				return named.Obj().Name() + "." + sel.Sel.Name
+			}
+		}
+		return sel.Sel.Name
+	}
+	if id, ok := x.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "<lock>"
+}
+
+// typesInfo lets lockID/lockName work for any node's package.
+type typesInfo struct{ info *types.Info }
+
+// walkStmts processes a statement list in order, threading the held
+// set through and recording ordering edges.
+func (c *checker) walkStmts(n *callgraph.Node, stmts []ast.Stmt, held []string) []string {
+	for _, s := range stmts {
+		held = c.walkStmt(n, s, held)
+	}
+	return held
+}
+
+func (c *checker) walkStmt(n *callgraph.Node, s ast.Stmt, held []string) []string {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return c.walkStmts(n, st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held = c.walkStmt(n, st.Init, held)
+		}
+		held = c.scanExpr(n, st.Cond, held)
+		c.walkStmts(n, st.Body.List, copyHeld(held))
+		if st.Else != nil {
+			c.walkStmt(n, st.Else, copyHeld(held))
+		}
+		return held
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held = c.walkStmt(n, st.Init, held)
+		}
+		if st.Cond != nil {
+			held = c.scanExpr(n, st.Cond, held)
+		}
+		c.walkStmts(n, st.Body.List, copyHeld(held))
+		return held
+	case *ast.RangeStmt:
+		held = c.scanExpr(n, st.X, held)
+		c.walkStmts(n, st.Body.List, copyHeld(held))
+		return held
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		for _, clause := range bodyOf(st).List {
+			switch cl := clause.(type) {
+			case *ast.CaseClause:
+				c.walkStmts(n, cl.Body, copyHeld(held))
+			case *ast.CommClause:
+				c.walkStmts(n, cl.Body, copyHeld(held))
+			}
+		}
+		return held
+	case *ast.GoStmt:
+		// The goroutine runs concurrently: empty held set, and nothing
+		// it acquires is ordered after the spawner's locks.
+		if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+			c.walkStmts(n, lit.Body.List, nil)
+		}
+		return held
+	case *ast.DeferStmt:
+		// Deferred releases run at function end (the idiom); deferred
+		// closures run with the locks already released.
+		if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+			c.walkStmts(n, lit.Body.List, nil)
+		}
+		return held
+	case *ast.LabeledStmt:
+		return c.walkStmt(n, st.Stmt, held)
+	default:
+		var exprs []ast.Expr
+		switch st := s.(type) {
+		case *ast.ExprStmt:
+			exprs = []ast.Expr{st.X}
+		case *ast.AssignStmt:
+			exprs = append(append(exprs, st.Rhs...), st.Lhs...)
+		case *ast.ReturnStmt:
+			exprs = st.Results
+		case *ast.DeclStmt:
+			if gd, ok := st.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						exprs = append(exprs, vs.Values...)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			exprs = []ast.Expr{st.Chan, st.Value}
+		}
+		for _, e := range exprs {
+			held = c.scanExpr(n, e, held)
+		}
+		return held
+	}
+}
+
+// scanExpr visits the calls inside an expression in source order,
+// updating the held set and recording edges. Function literals run
+// under the current held set (they execute where they are passed);
+// their GoStmt/Defer interiors are handled by walkStmt.
+func (c *checker) scanExpr(n *callgraph.Node, e ast.Expr, held []string) []string {
+	if e == nil {
+		return held
+	}
+	info := &typesInfo{info: n.Pass.TypesInfo}
+	ast.Inspect(e, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.FuncLit:
+			held = c.walkStmts(n, v.Body.List, held)
+			return false
+		case *ast.CallExpr:
+			// Arguments evaluate before the call.
+			for _, a := range v.Args {
+				held = c.scanExpr(n, a, held)
+			}
+			held = c.applyCall(n, info, v, held)
+			return false
+		}
+		return true
+	})
+	return held
+}
+
+// applyCall updates the held set for one call and records edges, both
+// for direct acquisitions and for locks the callee can acquire.
+func (c *checker) applyCall(n *callgraph.Node, info *typesInfo, call *ast.CallExpr, held []string) []string {
+	if id, acquire, isLock := lockID(info, call); isLock {
+		if acquire {
+			for _, h := range held {
+				c.addEdge(n, h, id, call.Pos())
+			}
+			if contains(held, id) {
+				c.addEdge(n, id, id, call.Pos())
+			}
+			return append(held, id)
+		}
+		return remove(held, id)
+	}
+	if len(held) > 0 {
+		for _, tgt := range c.targets(call) {
+			for a := range c.transitiveAcquires(tgt) {
+				for _, h := range held {
+					c.addEdge(n, h, a, call.Pos())
+				}
+				if contains(held, a) {
+					c.addEdge(n, a, a, call.Pos())
+				}
+			}
+		}
+	}
+	return held
+}
+
+// targets resolves a call site to its callgraph nodes.
+func (c *checker) targets(call *ast.CallExpr) []*callgraph.Node {
+	var out []*callgraph.Node
+	// The graph stores sites per caller; a direct lookup by identity is
+	// cheaper than indexing every site, and call sites are unique nodes.
+	if c.siteIndex == nil {
+		c.siteIndex = make(map[*ast.CallExpr][]*callgraph.Node)
+		for _, n := range c.g.Nodes {
+			for _, e := range n.Out {
+				c.siteIndex[e.Site] = append(c.siteIndex[e.Site], e.Callee)
+			}
+		}
+	}
+	out = c.siteIndex[call]
+	return out
+}
+
+// transitiveAcquires returns the set of lock IDs a function can acquire
+// in its own body or through module callees, excluding goroutine
+// bodies (those run concurrently, not under the caller's locks).
+func (c *checker) transitiveAcquires(n *callgraph.Node) map[string]bool {
+	if s, ok := c.acquires[n]; ok {
+		return s
+	}
+	if c.visiting[n] {
+		return nil // recursion: the other frames collect the rest
+	}
+	c.visiting[n] = true
+	defer delete(c.visiting, n)
+	set := make(map[string]bool)
+	info := &typesInfo{info: n.Pass.TypesInfo}
+	if n.Decl.Body != nil {
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			switch v := x.(type) {
+			case *ast.GoStmt:
+				return false
+			case *ast.CallExpr:
+				if id, acquire, isLock := lockID(info, v); isLock && acquire {
+					set[id] = true
+				}
+				for _, tgt := range c.targets(v) {
+					for a := range c.transitiveAcquires(tgt) {
+						set[a] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	c.acquires[n] = set
+	return set
+}
+
+func (c *checker) addEdge(n *callgraph.Node, from, to string, pos token.Pos) {
+	e := edge{from, to}
+	if _, ok := c.edges[e]; !ok {
+		c.edges[e] = site{pos: pos, pkg: n.Pass.Pkg.Path()}
+	}
+}
+
+// report finds cycles in the lock graph and reports every in-scope
+// edge participating in one.
+func (c *checker) report(pp *analysis.ProgramPass) {
+	adj := make(map[string][]string)
+	for e := range c.edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	cyclic := cyclicNodes(adj)
+	var ordered []edge
+	for e := range c.edges {
+		ordered = append(ordered, e)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].from != ordered[j].from {
+			return ordered[i].from < ordered[j].from
+		}
+		return ordered[i].to < ordered[j].to
+	})
+	for _, e := range ordered {
+		s := c.edges[e]
+		if !pp.InScope(s.pkg) {
+			continue
+		}
+		if e.from == e.to {
+			pp.Report(analysis.Diagnostic{Pos: s.pos, Message: fmt.Sprintf("lock %q acquired while already held: self-deadlock", e.to)})
+			continue
+		}
+		if cyclic[e.from] && cyclic[e.to] && sameComponent(adj, e.from, e.to) {
+			pp.Report(analysis.Diagnostic{Pos: s.pos, Message: fmt.Sprintf("acquiring %q while holding %q participates in a lock-order cycle", e.to, e.from)})
+		}
+	}
+}
+
+// cyclicNodes returns the lock IDs inside any strongly connected
+// component of size > 1 (self-loops are reported separately).
+func cyclicNodes(adj map[string][]string) map[string]bool {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	comp := make(map[string]int)
+	compSize := make(map[int]bool) // component id -> size > 1
+	var stack []string
+	counter, compID := 0, 0
+	var names []string
+	for n := range adj {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		counter++
+		index[v] = counter
+		low[v] = counter
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			compID++
+			size := 0
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = compID
+				size++
+				if w == v {
+					break
+				}
+			}
+			compSize[compID] = size > 1
+		}
+	}
+	for _, v := range names {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	out := make(map[string]bool)
+	for v, id := range comp {
+		if compSize[id] {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// sameComponent reports whether a path exists from to back to from,
+// i.e. the edge closes a cycle.
+func sameComponent(adj map[string][]string, from, to string) bool {
+	seen := map[string]bool{}
+	var walk func(v string) bool
+	walk = func(v string) bool {
+		if v == from {
+			return true
+		}
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+		for _, w := range adj[v] {
+			if walk(w) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(to)
+}
+
+func copyHeld(h []string) []string {
+	out := make([]string, len(h))
+	copy(out, h)
+	return out
+}
+
+func contains(h []string, id string) bool {
+	for _, x := range h {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+func remove(h []string, id string) []string {
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i] == id {
+			return append(append([]string{}, h[:i]...), h[i+1:]...)
+		}
+	}
+	return h
+}
+
+func bodyOf(s ast.Stmt) *ast.BlockStmt {
+	switch st := s.(type) {
+	case *ast.SwitchStmt:
+		return st.Body
+	case *ast.TypeSwitchStmt:
+		return st.Body
+	case *ast.SelectStmt:
+		return st.Body
+	}
+	return &ast.BlockStmt{}
+}

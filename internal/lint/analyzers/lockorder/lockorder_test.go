@@ -1,0 +1,11 @@
+package lockorder
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "lockorder", "lockorder_clean")
+}

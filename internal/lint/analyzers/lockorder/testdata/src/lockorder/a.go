@@ -1,0 +1,47 @@
+// Violating package: two call paths take the same pair of locks in
+// opposite orders, and one path re-acquires a held lock through a
+// helper. Every finding needs the call graph: the conflicting
+// acquisitions live in different functions.
+package lockorder
+
+type Mutex struct{ state int }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type Store struct {
+	mu   Mutex
+	quar Mutex
+}
+
+// scan acquires Store.mu, then Store.quar through sweep.
+func (s *Store) scan() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweep() // want `acquiring "Store.quar" while holding "Store.mu" participates in a lock-order cycle`
+}
+
+func (s *Store) sweep() {
+	s.quar.Lock()
+	defer s.quar.Unlock()
+}
+
+// reverse closes the cycle: Store.quar first, then Store.mu.
+func (s *Store) reverse() {
+	s.quar.Lock()
+	defer s.quar.Unlock()
+	s.mu.Lock() // want `acquiring "Store.mu" while holding "Store.quar" participates in a lock-order cycle`
+	s.mu.Unlock()
+}
+
+// again re-acquires Store.mu through a helper while holding it.
+func (s *Store) again() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.helperLock() // want `lock "Store.mu" acquired while already held: self-deadlock`
+}
+
+func (s *Store) helperLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}

@@ -1,0 +1,55 @@
+// Clean package: every path agrees on the order Store.mu before
+// Store.quar, releases break the chain, and goroutines are not ordered
+// after their spawner's locks — the analyzer must stay silent.
+package lockorder_clean
+
+type Mutex struct{ state int }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type Store struct {
+	mu   Mutex
+	quar Mutex
+}
+
+func (s *Store) scan() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweep()
+}
+
+func (s *Store) sweep() {
+	s.quar.Lock()
+	defer s.quar.Unlock()
+}
+
+// Sequential, released in between: no ordering edge.
+func (s *Store) sequential() {
+	s.quar.Lock()
+	s.quar.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// A goroutine's acquisitions are concurrent with the spawner's locks.
+func (s *Store) spawn() {
+	s.quar.Lock()
+	defer s.quar.Unlock()
+	go func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}()
+}
+
+// An early-return unlock in a branch must not leak into the
+// fallthrough path.
+func (s *Store) branchy(done bool) {
+	s.mu.Lock()
+	if done {
+		s.mu.Unlock()
+		return
+	}
+	s.sweep()
+	s.mu.Unlock()
+}

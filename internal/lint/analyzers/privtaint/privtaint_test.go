@@ -1,0 +1,11 @@
+package privtaint
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+)
+
+func TestPrivtaint(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "privtaint", "privtaint_clean")
+}

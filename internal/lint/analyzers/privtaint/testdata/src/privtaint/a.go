@@ -1,0 +1,47 @@
+// Violating package: true locations reach sinks without passing
+// through the mechanism. The source and the sink live in different
+// functions, so every finding here requires interprocedural summaries.
+package privtaint
+
+type Loc struct {
+	Road      int
+	FromStart float64
+}
+
+type ObfuscateRequest struct {
+	Epsilon   float64
+	Locations []Loc
+}
+
+type Mechanism struct{ k int }
+
+func (m *Mechanism) Sample(l Loc) Loc { return Loc{Road: m.k} }
+
+type Encoder struct{}
+
+func (e *Encoder) Encode(v interface{}) error { return nil }
+
+// handle reads the source; the sink is two calls away (emit → relay).
+func handle(req ObfuscateRequest, enc *Encoder) {
+	for _, loc := range req.Locations {
+		emit(enc, loc) // want `true location reaches a wire/store encoder via call to emit`
+	}
+}
+
+func emit(enc *Encoder, l Loc) {
+	relay(enc, l)
+}
+
+func relay(enc *Encoder, l Loc) {
+	_ = enc.Encode(l)
+}
+
+// first returns a tainted value; the caller sinks it directly.
+func first(req ObfuscateRequest) Loc {
+	return req.Locations[0]
+}
+
+func dump(req ObfuscateRequest, enc *Encoder) {
+	l := first(req)
+	_ = enc.Encode(l) // want `true location reaches a wire/store encoder without Geo-I obfuscation`
+}

@@ -1,0 +1,25 @@
+// Test program for the call-graph builder: a static call chain, a
+// mutually recursive pair, and an interface call with two
+// implementations.
+package cg
+
+type Runner interface{ Run() }
+
+type A struct{}
+
+func (A) Run() { leaf() }
+
+type B struct{}
+
+func (B) Run() {}
+
+func leaf() {}
+
+func top(r Runner) {
+	r.Run()
+	ping()
+}
+
+func ping() { pong() }
+
+func pong() { ping() }

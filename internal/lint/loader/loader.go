@@ -87,6 +87,21 @@ func New(dir string) (*Loader, error) {
 // Fset returns the loader's shared file set.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
+// Loaded returns every package this loader has parsed and type-checked
+// from source — the requested packages plus every module-internal
+// dependency pulled in to satisfy imports — sorted by import path. This
+// is the program a whole-program analyzer sees: GOROOT packages are
+// type-checked by the stdlib source importer and therefore have types
+// but no ASTs here.
+func (l *Loader) Loaded() []*Package {
+	pkgs := make([]*Package, 0, len(l.cache))
+	for _, p := range l.cache {
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs
+}
+
 // findModule walks up from dir to the enclosing go.mod.
 func findModule(dir string) (root, path string, err error) {
 	abs, err := filepath.Abs(dir)

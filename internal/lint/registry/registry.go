@@ -11,11 +11,15 @@ import (
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/analyzers/atomicstats"
 	"repro/internal/lint/analyzers/ctxflow"
+	"repro/internal/lint/analyzers/errflow"
 	"repro/internal/lint/analyzers/faultpoint"
 	"repro/internal/lint/analyzers/floateq"
 	"repro/internal/lint/analyzers/geoigate"
+	"repro/internal/lint/analyzers/goctx"
+	"repro/internal/lint/analyzers/lockorder"
 	"repro/internal/lint/analyzers/nilness"
 	"repro/internal/lint/analyzers/nodeterm"
+	"repro/internal/lint/analyzers/privtaint"
 	"repro/internal/lint/analyzers/shadow"
 )
 
@@ -70,6 +74,26 @@ func All() []Scoped {
 			Analyzer: shadow.Analyzer,
 			Scope:    regexp.MustCompile(`^repro(/|$)`),
 			Why:      "confusing variable shadowing (x/tools shadow, not in go vet's default set)",
+		},
+		{
+			Analyzer: privtaint.Analyzer,
+			Scope:    regexp.MustCompile(`^repro/internal/server$`),
+			Why:      "whole-program taint: true locations must pass through a Geo-I mechanism sample before any HTTP/log/store sink",
+		},
+		{
+			Analyzer: lockorder.Analyzer,
+			Scope:    regexp.MustCompile(`^repro/internal/(server|store|chaos)$`),
+			Why:      "whole-program lock graph: mutexes and the lease flock must be acquired in one global order",
+		},
+		{
+			Analyzer: errflow.Analyzer,
+			Scope:    regexp.MustCompile(`^repro/internal/(server|store|chaos)$`),
+			Why:      "whole-program error flow: durable-I/O and lease errors must be handled, latched, or quarantined, never dropped",
+		},
+		{
+			Analyzer: goctx.Analyzer,
+			Scope:    regexp.MustCompile(`^repro/internal/(server|chaos)$`),
+			Why:      "whole-program goroutine audit: every spawn must be cancellable via ctx or joined via WaitGroup/drain",
 		},
 	}
 }

@@ -1,0 +1,658 @@
+// Package taint is a forward interprocedural taint engine over the
+// callgraph package. A Config names the three roles — sources (where
+// taint is born: a struct field read or a function's results),
+// sanitizers (calls whose results are clean no matter the arguments),
+// and sinks (calls whose arguments must be clean) — and Analyze reports
+// every call site where a source-derived value reaches a sink with no
+// sanitizer in between.
+//
+// The analysis is flow- and path-insensitive inside a function (one
+// taint set per variable, merged over all assignments) and
+// summary-based across functions: each function gets a summary mapping
+// its inputs to the taint of its results and to the sinks its inputs
+// can reach, computed bottom-up over the call graph's strongly
+// connected components and iterated to fixpoint within each SCC, so
+// recursion converges and each function body is re-scanned only while
+// its component is still changing.
+//
+// Taint sets are uint64 bitsets: bit i (< 63) means "derived from input
+// i of the enclosing function" (the receiver, when present, is input
+// 0), and bit 63 (SourceBit) means "derived from a source". Calls to
+// functions outside the loaded program are handled conservatively —
+// every argument flows to every result — with two exceptions: builtins
+// that measure rather than carry data (len, cap) and allocation
+// builtins return clean values, which keeps len(req.Locations) usable
+// in error messages. Writes through a parameter's pointee are not
+// propagated back to callers; none of the invariants this engine
+// enforces launder taint that way.
+package taint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
+)
+
+// SourceBit marks a value derived from a source, as opposed to one
+// derived from an enclosing function's inputs.
+const SourceBit = 63
+
+const sourceMask = uint64(1) << SourceBit
+
+// Config names the source, sanitizer, and sink roles for one analysis.
+// Predicates match by types objects, so an analyzer can key on names
+// (the testdata idiom) or on package paths as it sees fit. Any field
+// may be nil.
+type Config struct {
+	// SourceField reports whether reading the given field of the given
+	// named type yields a tainted value.
+	SourceField func(owner *types.Named, field *types.Var) bool
+	// SourceFunc reports whether every result of a call to fn is
+	// tainted.
+	SourceFunc func(fn *types.Func) bool
+	// Sanitizer reports whether a call to fn returns clean values
+	// regardless of its arguments. Sanitizer wins over SourceFunc and
+	// Sink.
+	Sanitizer func(fn *types.Func) bool
+	// Sink returns a short description ("HTTP response write") when
+	// arguments passed to fn must be clean, or "" otherwise.
+	Sink func(fn *types.Func) string
+}
+
+// Finding is one tainted-value-reaches-sink event.
+type Finding struct {
+	// Pos is the call site where the tainted value left the function
+	// that created it.
+	Pos token.Pos
+	// Node is the function containing the call site.
+	Node *callgraph.Node
+	// Sink describes the ultimate sink, as returned by Config.Sink.
+	Sink string
+	// Via is the callee the value entered on its way to the sink, or
+	// "" when the sink call is direct.
+	Via string
+}
+
+// summary is one function's interprocedural behaviour.
+type summary struct {
+	// results[i] is the taint of result i expressed over the function's
+	// inputs (plus SourceBit for taint born inside).
+	results []uint64
+	// sinkParams has bit i set when input i can reach a sink inside
+	// this function or its callees.
+	sinkParams uint64
+	// sinkDesc[i] describes the sink input i reaches.
+	sinkDesc map[int]string
+}
+
+type engine struct {
+	g   *callgraph.Graph
+	cfg Config
+	// sums, states, and paramBits persist across analyzeOnce calls so
+	// the per-SCC fixpoint only re-scans bodies, never restarts.
+	sums      map[*callgraph.Node]*summary
+	states    map[*callgraph.Node]map[types.Object]uint64
+	params    map[*callgraph.Node]map[types.Object]int
+	resultIDs map[*callgraph.Node][]types.Object // named results, for naked returns
+	sites     map[*ast.CallExpr][]*callgraph.Node
+	changed   bool
+}
+
+// Analyze runs the engine over the whole program and returns the
+// findings in deterministic order.
+func Analyze(g *callgraph.Graph, cfg Config) []Finding {
+	e := &engine{
+		g:         g,
+		cfg:       cfg,
+		sums:      make(map[*callgraph.Node]*summary),
+		states:    make(map[*callgraph.Node]map[types.Object]uint64),
+		params:    make(map[*callgraph.Node]map[types.Object]int),
+		resultIDs: make(map[*callgraph.Node][]types.Object),
+		sites:     make(map[*ast.CallExpr][]*callgraph.Node),
+	}
+	for _, n := range g.Nodes {
+		for _, edge := range n.Out {
+			e.sites[edge.Site] = append(e.sites[edge.Site], edge.Callee)
+		}
+		e.prepare(n)
+	}
+	// Bottom-up over SCCs: callee summaries are final before callers
+	// read them, except within a component, which iterates to fixpoint.
+	for _, scc := range g.SCCs() {
+		for {
+			e.changed = false
+			for _, n := range scc {
+				e.analyzeOnce(n, nil)
+			}
+			if !e.changed {
+				break
+			}
+		}
+	}
+	// Summaries and states are now fixed; one reporting pass collects
+	// the sites where a source-tainted value meets a sink.
+	var findings []Finding
+	seen := make(map[Finding]bool)
+	for _, n := range g.SortedNodes() {
+		e.analyzeOnce(n, func(f Finding) {
+			if !seen[f] {
+				seen[f] = true
+				findings = append(findings, f)
+			}
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Pos != findings[j].Pos {
+			return findings[i].Pos < findings[j].Pos
+		}
+		if findings[i].Sink != findings[j].Sink {
+			return findings[i].Sink < findings[j].Sink
+		}
+		return findings[i].Via < findings[j].Via
+	})
+	return findings
+}
+
+// prepare assigns input bits and result slots for a node.
+func (e *engine) prepare(n *callgraph.Node) {
+	bits := make(map[types.Object]int)
+	sig, _ := n.Func.Type().(*types.Signature)
+	i := 0
+	if sig != nil {
+		if sig.Recv() != nil {
+			bits[sig.Recv()] = i
+			i++
+		}
+		for j := 0; j < sig.Params().Len(); j++ {
+			if i < SourceBit {
+				bits[sig.Params().At(j)] = i
+			}
+			i++
+		}
+	}
+	e.params[n] = bits
+	nres := 0
+	if sig != nil {
+		nres = sig.Results().Len()
+	}
+	e.sums[n] = &summary{results: make([]uint64, nres), sinkDesc: make(map[int]string)}
+	e.states[n] = make(map[types.Object]uint64)
+	// Named results participate in naked returns.
+	if n.Decl.Type.Results != nil {
+		for _, field := range n.Decl.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := n.Pass.TypesInfo.Defs[name]; obj != nil {
+					e.resultIDs[n] = append(e.resultIDs[n], obj)
+				}
+			}
+		}
+	}
+}
+
+// frame is the per-function view used while scanning one body.
+type frame struct {
+	e      *engine
+	n      *callgraph.Node
+	info   *types.Info
+	state  map[types.Object]uint64
+	bits   map[types.Object]int
+	sum    *summary
+	report func(Finding)
+}
+
+// analyzeOnce runs one monotone transfer pass over n's body, updating
+// the persistent state and summary. With report non-nil it also emits
+// findings; summaries must already be at fixpoint then.
+func (e *engine) analyzeOnce(n *callgraph.Node, report func(Finding)) {
+	if n.Decl.Body == nil {
+		return
+	}
+	f := &frame{
+		e:      e,
+		n:      n,
+		info:   n.Pass.TypesInfo,
+		state:  e.states[n],
+		bits:   e.params[n],
+		sum:    e.sums[n],
+		report: report,
+	}
+	ast.Inspect(n.Decl.Body, f.visit)
+	// Naked returns return the named result variables' current taint.
+	for i, obj := range e.resultIDs[n] {
+		if i < len(f.sum.results) {
+			f.mergeResult(i, f.state[obj])
+		}
+	}
+}
+
+func (f *frame) visit(x ast.Node) bool {
+	switch s := x.(type) {
+	case *ast.AssignStmt:
+		f.assign(s.Lhs, s.Rhs)
+	case *ast.GenDecl:
+		for _, spec := range s.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) == 0 {
+				continue
+			}
+			lhs := make([]ast.Expr, len(vs.Names))
+			for i, name := range vs.Names {
+				lhs[i] = name
+			}
+			f.assign(lhs, vs.Values)
+		}
+	case *ast.RangeStmt:
+		t := f.eval(s.X)
+		if s.Key != nil {
+			// A slice/array index is a position, not data; only map
+			// keys (and the values below) carry the container's taint.
+			if tv, ok := f.info.Types[s.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					f.store(s.Key, t)
+				}
+			}
+		}
+		if s.Value != nil {
+			f.store(s.Value, t)
+		}
+	case *ast.SendStmt:
+		f.store(s.Chan, f.eval(s.Value))
+	case *ast.ReturnStmt:
+		for i, res := range s.Results {
+			if len(s.Results) == 1 && len(f.sum.results) > 1 {
+				// return f() spreading a multi-value call
+				for j, t := range f.evalMulti(res, len(f.sum.results)) {
+					f.mergeResult(j, t)
+				}
+				break
+			}
+			f.mergeResult(i, f.eval(res))
+		}
+	case *ast.CallExpr:
+		f.checkSink(s)
+	}
+	return true
+}
+
+// assign handles both n:n assignments and 2:1/n:1 multi-value forms.
+func (f *frame) assign(lhs, rhs []ast.Expr) {
+	if len(lhs) == len(rhs) {
+		for i := range lhs {
+			f.store(lhs[i], f.eval(rhs[i]))
+		}
+		return
+	}
+	if len(rhs) == 1 {
+		for i, t := range f.evalMulti(rhs[0], len(lhs)) {
+			f.store(lhs[i], t)
+		}
+	}
+}
+
+// store propagates taint into the root variable of an lvalue. Writing
+// through a field, index, or dereference taints the whole root object:
+// the engine is object-granular except for source fields.
+func (f *frame) store(lv ast.Expr, t uint64) {
+	if t == 0 {
+		return
+	}
+	root := rootExpr(lv)
+	id, ok := root.(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := f.info.Defs[id]
+	if obj == nil {
+		obj = f.info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	if _, isParam := f.bits[obj]; isParam {
+		// A write into a parameter's pointee escapes to the caller;
+		// see the package comment for why this is not modelled.
+		return
+	}
+	if f.state[obj]|t != f.state[obj] {
+		f.state[obj] |= t
+		f.e.changed = true
+	}
+}
+
+// mergeResult unions taint into summary result slot i.
+func (f *frame) mergeResult(i int, t uint64) {
+	if i >= len(f.sum.results) {
+		return
+	}
+	if f.sum.results[i]|t != f.sum.results[i] {
+		f.sum.results[i] |= t
+		f.e.changed = true
+	}
+}
+
+// mergeSinkParam records that input bit i reaches a sink described by
+// desc inside this function.
+func (f *frame) mergeSinkParam(bits uint64, desc string) {
+	bits &^= sourceMask
+	if bits == 0 {
+		return
+	}
+	if f.sum.sinkParams|bits != f.sum.sinkParams {
+		f.sum.sinkParams |= bits
+		f.e.changed = true
+	}
+	for i := 0; i < SourceBit; i++ {
+		if bits&(1<<uint(i)) != 0 {
+			if _, ok := f.sum.sinkDesc[i]; !ok {
+				f.sum.sinkDesc[i] = desc
+			}
+		}
+	}
+}
+
+// eval computes the taint of an expression, collapsing multi-value
+// calls to the union of their results.
+func (f *frame) eval(x ast.Expr) uint64 {
+	switch v := x.(type) {
+	case *ast.Ident:
+		obj := f.info.Uses[v]
+		if obj == nil {
+			obj = f.info.Defs[v]
+		}
+		if obj == nil {
+			return 0
+		}
+		if bit, ok := f.bits[obj]; ok {
+			return 1 << uint(bit)
+		}
+		return f.state[obj]
+	case *ast.SelectorExpr:
+		// Qualified identifier (pkg.Var)?
+		if obj, ok := f.info.Uses[v.Sel]; ok {
+			if _, isPkg := f.info.Uses[rootIdent(v.X)].(*types.PkgName); isPkg {
+				_ = obj
+				return 0
+			}
+		}
+		base := f.eval(v.X)
+		if sel, ok := f.info.Selections[v]; ok && sel.Kind() == types.FieldVal {
+			if field, ok := sel.Obj().(*types.Var); ok && f.e.cfg.SourceField != nil {
+				if named := namedOf(sel.Recv()); named != nil && f.e.cfg.SourceField(named, field) {
+					return base | sourceMask
+				}
+			}
+		}
+		return base
+	case *ast.CallExpr:
+		res := f.evalCall(v, -1)
+		var t uint64
+		for _, r := range res {
+			t |= r
+		}
+		return t
+	case *ast.BinaryExpr:
+		return f.eval(v.X) | f.eval(v.Y)
+	case *ast.UnaryExpr:
+		return f.eval(v.X)
+	case *ast.StarExpr:
+		return f.eval(v.X)
+	case *ast.ParenExpr:
+		return f.eval(v.X)
+	case *ast.IndexExpr:
+		return f.eval(v.X)
+	case *ast.SliceExpr:
+		return f.eval(v.X)
+	case *ast.TypeAssertExpr:
+		return f.eval(v.X)
+	case *ast.CompositeLit:
+		var t uint64
+		for _, elt := range v.Elts {
+			t |= f.eval(elt)
+		}
+		return t
+	case *ast.KeyValueExpr:
+		return f.eval(v.Value)
+	case *ast.FuncLit:
+		return 0
+	}
+	return 0
+}
+
+// evalMulti computes per-result taint for an expression expected to
+// produce want values (a multi-value call, type assertion, map index,
+// or channel receive in a 2-valued context).
+func (f *frame) evalMulti(x ast.Expr, want int) []uint64 {
+	if call, ok := ast.Unparen(x).(*ast.CallExpr); ok {
+		res := f.evalCall(call, want)
+		for len(res) < want {
+			res = append(res, 0)
+		}
+		return res[:want]
+	}
+	out := make([]uint64, want)
+	out[0] = f.eval(x) // v, ok := m[k] / x.(T) / <-ch: the bool is clean
+	return out
+}
+
+// evalCall computes the taint of each result of a call. want < 0 means
+// "single-value context".
+func (f *frame) evalCall(call *ast.CallExpr, want int) []uint64 {
+	// Conversions carry their operand's taint.
+	if tv, ok := f.info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return []uint64{f.eval(call.Args[0])}
+		}
+		return []uint64{0}
+	}
+	// Builtins: len/cap and the allocators are clean; append/copy and
+	// min/max carry data through.
+	if b, ok := f.builtin(call.Fun); ok {
+		switch b.Name() {
+		case "append", "copy", "min", "max":
+			var t uint64
+			for _, a := range call.Args {
+				t |= f.eval(a)
+			}
+			return []uint64{t}
+		default:
+			return []uint64{0}
+		}
+	}
+	fn := analysis.Callee(f.info, call)
+	if fn != nil {
+		if f.e.cfg.Sanitizer != nil && f.e.cfg.Sanitizer(fn) {
+			return f.zeros(fn, want)
+		}
+		if f.e.cfg.SourceFunc != nil && f.e.cfg.SourceFunc(fn) {
+			res := f.zeros(fn, want)
+			for i := range res {
+				res[i] = sourceMask
+			}
+			return res
+		}
+		if f.e.cfg.Sink != nil && f.e.cfg.Sink(fn) != "" {
+			// Sink results (typically an error) are treated as clean;
+			// the arguments were checked at the statement walk.
+			return f.zeros(fn, want)
+		}
+	}
+	// Known module callees: map argument taint through their result
+	// summaries (union over CHA targets for interface calls).
+	if targets := f.e.sites[call]; len(targets) > 0 {
+		argT := f.argTaints(call)
+		var res []uint64
+		for _, tgt := range targets {
+			sum := f.e.sums[tgt]
+			if sum == nil {
+				continue
+			}
+			for len(res) < len(sum.results) {
+				res = append(res, 0)
+			}
+			for i, mask := range sum.results {
+				res[i] |= applyMask(mask, argT)
+			}
+		}
+		if res == nil {
+			res = []uint64{0}
+		}
+		return res
+	}
+	// Unknown external callee: every argument flows to every result.
+	var t uint64
+	for _, a := range call.Args {
+		t |= f.eval(a)
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isPkg := f.info.Uses[rootIdent(sel.X)].(*types.PkgName); !isPkg {
+			t |= f.eval(sel.X) // method call: the receiver flows too
+		}
+	} else {
+		t |= f.eval(call.Fun) // call through a function value
+	}
+	n := want
+	if n < 1 {
+		n = 1
+	}
+	res := make([]uint64, n)
+	for i := range res {
+		res[i] = t
+	}
+	return res
+}
+
+// zeros returns a clean result vector sized to fn's signature (or want).
+func (f *frame) zeros(fn *types.Func, want int) []uint64 {
+	n := want
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Results().Len() > n {
+		n = sig.Results().Len()
+	}
+	if n < 1 {
+		n = 1
+	}
+	return make([]uint64, n)
+}
+
+// argTaints computes the call's input taint vector in callee order:
+// receiver first (for method calls), then arguments.
+func (f *frame) argTaints(call *ast.CallExpr) []uint64 {
+	var out []uint64
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isPkg := f.info.Uses[rootIdent(sel.X)].(*types.PkgName); !isPkg {
+			out = append(out, f.eval(sel.X))
+		}
+	}
+	for _, a := range call.Args {
+		out = append(out, f.eval(a))
+	}
+	return out
+}
+
+// applyMask translates a callee-side taint mask into caller-side taint
+// given the call's argument taints. Out-of-range bits (variadic tails)
+// fold onto the last argument.
+func applyMask(mask uint64, argT []uint64) uint64 {
+	var t uint64
+	if mask&sourceMask != 0 {
+		t |= sourceMask
+	}
+	for i := 0; i < SourceBit; i++ {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		switch {
+		case i < len(argT):
+			t |= argT[i]
+		case len(argT) > 0:
+			t |= argT[len(argT)-1]
+		}
+	}
+	return t
+}
+
+// checkSink inspects one call site: direct sink calls must receive
+// clean arguments, and calls whose callee summary says "input i
+// reaches a sink" are sinks for input i transitively.
+func (f *frame) checkSink(call *ast.CallExpr) {
+	fn := analysis.Callee(f.info, call)
+	if fn != nil && f.e.cfg.Sanitizer != nil && f.e.cfg.Sanitizer(fn) {
+		return
+	}
+	argT := f.argTaints(call)
+	if fn != nil && f.e.cfg.Sink != nil {
+		if desc := f.e.cfg.Sink(fn); desc != "" {
+			for _, t := range argT {
+				if t&sourceMask != 0 && f.report != nil {
+					f.report(Finding{Pos: call.Pos(), Node: f.n, Sink: desc})
+				}
+				f.mergeSinkParam(t, desc)
+			}
+			return
+		}
+	}
+	for _, tgt := range f.e.sites[call] {
+		sum := f.e.sums[tgt]
+		if sum == nil || sum.sinkParams == 0 {
+			continue
+		}
+		for i, t := range argT {
+			bit := uint64(1) << uint(i)
+			if i >= SourceBit || sum.sinkParams&bit == 0 {
+				continue
+			}
+			desc := sum.sinkDesc[i]
+			if t&sourceMask != 0 && f.report != nil {
+				f.report(Finding{Pos: call.Pos(), Node: f.n, Sink: desc, Via: tgt.Func.Name()})
+			}
+			f.mergeSinkParam(t, desc)
+		}
+	}
+}
+
+// builtin resolves a call target to a builtin, if it is one.
+func (f *frame) builtin(fun ast.Expr) (*types.Builtin, bool) {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	b, ok := f.info.Uses[id].(*types.Builtin)
+	return b, ok
+}
+
+// rootExpr strips selectors, indexes, derefs, and parens down to the
+// base expression of an lvalue.
+func rootExpr(x ast.Expr) ast.Expr {
+	for {
+		switch v := x.(type) {
+		case *ast.ParenExpr:
+			x = v.X
+		case *ast.SelectorExpr:
+			x = v.X
+		case *ast.IndexExpr:
+			x = v.X
+		case *ast.StarExpr:
+			x = v.X
+		default:
+			return x
+		}
+	}
+}
+
+// rootIdent returns the base identifier of an expression, or nil.
+func rootIdent(x ast.Expr) *ast.Ident {
+	id, _ := rootExpr(x).(*ast.Ident)
+	return id
+}
+
+// namedOf unwraps pointers to the named type of a receiver, if any.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

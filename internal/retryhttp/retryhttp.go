@@ -6,6 +6,9 @@
 // and other 5xx) with capped exponential backoff and full jitter,
 // honouring the server's Retry-After when present, and respects the
 // request context throughout, including while sleeping between attempts.
+// When a rejected attempt carries the fleet's X-VLP-Leader hint, the
+// next attempt is re-aimed at the advertised leader instead of blindly
+// re-sending to the same instance.
 //
 // Requests with bodies are replayed via Request.GetBody, which
 // http.NewRequest populates automatically for byte readers; vlpserved's
@@ -21,10 +24,18 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
 	"time"
 )
+
+// LeaderHeader is the response header a follower stamps with the
+// current leaseholder's advertised base URL. A retry that blindly
+// re-sends to the same follower buys the same rejection; when a
+// retryable response carries this hint, the next attempt is re-aimed
+// at the leader instead.
+const LeaderHeader = "X-VLP-Leader"
 
 // Client wraps an http.Client with retries. The zero value is usable.
 type Client struct {
@@ -140,7 +151,9 @@ func retryAfter(resp *http.Response) (time.Duration, bool) {
 // the attempt budget is spent, or the request context is done. On
 // success the caller owns resp.Body as usual; on a final retryable
 // status the last response is returned (body open) with a nil error so
-// the caller can inspect it.
+// the caller can inspect it. A retryable response bearing the
+// X-VLP-Leader header redirects the next attempt to that leader base
+// URL (original path and query preserved).
 func (c *Client) Do(req *http.Request) (*http.Response, error) {
 	if req.Body != nil && req.GetBody == nil {
 		return nil, fmt.Errorf("retryhttp: request body is not replayable (nil GetBody)")
@@ -195,6 +208,7 @@ func (c *Client) Do(req *http.Request) (*http.Response, error) {
 		}
 		lastStatus = resp.StatusCode
 		lastErr = &StatusError{Status: resp.StatusCode}
+		followLeader(req, resp)
 	}
 	if resp != nil {
 		// Out of attempts on a retryable status: hand the caller the last
@@ -244,6 +258,31 @@ func (c *Client) PostJSON(ctx context.Context, url string, in, out interface{}) 
 		}
 	}
 	return resp.StatusCode, nil
+}
+
+// followLeader re-aims req at the base URL a follower advertised in
+// the response's LeaderHeader, keeping the original path and query. A
+// missing or malformed hint leaves the request untouched — the retry
+// then falls back to the plain same-target backoff, which is always
+// safe (the follower proxies writes to the leader anyway; the hint
+// just skips a hop). Only scheme and host are taken from the hint so a
+// hint can never rewrite which endpoint is being called.
+func followLeader(req *http.Request, resp *http.Response) {
+	hint := resp.Header.Get(LeaderHeader)
+	if hint == "" {
+		return
+	}
+	u, err := url.Parse(hint)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return
+	}
+	next := *req.URL
+	next.Scheme = u.Scheme
+	next.Host = u.Host
+	req.URL = &next
+	// Clear any explicit Host override so the new target derives its
+	// Host header from the leader's URL.
+	req.Host = ""
 }
 
 // sleep waits for d or until ctx is done, whichever is first.

@@ -314,6 +314,80 @@ func TestClientErrorsNeverRetried(t *testing.T) {
 	}
 }
 
+// TestFollowsLeaderHint: a follower that sheds a write with 503 and an
+// X-VLP-Leader hint must see exactly one attempt — the retry belongs
+// to the advertised leader, with the original path, query and body
+// intact.
+func TestFollowsLeaderHint(t *testing.T) {
+	var leaderHits, followerHits atomic.Int32
+	leader := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		leaderHits.Add(1)
+		if r.URL.Path != "/solve" || r.URL.RawQuery != "tier=gold" {
+			t.Errorf("leader got %q?%q, want /solve?tier=gold preserved across the redirect", r.URL.Path, r.URL.RawQuery)
+		}
+		if b, _ := io.ReadAll(r.Body); string(b) != "payload" {
+			t.Errorf("leader got body %q, replay lost the payload", b)
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer leader.Close()
+	follower := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		followerHits.Add(1)
+		w.Header().Set(LeaderHeader, leader.URL)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer follower.Close()
+
+	c := &Client{BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	req, err := http.NewRequest(http.MethodPost, follower.URL+"/solve?tier=gold", bytes.NewReader([]byte("payload")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 from the leader", resp.StatusCode)
+	}
+	if followerHits.Load() != 1 {
+		t.Errorf("follower saw %d attempts, want 1 (hint redirects the retry)", followerHits.Load())
+	}
+	if leaderHits.Load() != 1 {
+		t.Errorf("leader saw %d attempts, want 1", leaderHits.Load())
+	}
+}
+
+// TestMalformedLeaderHintIgnored: garbage in X-VLP-Leader must not
+// derail the retry — the client falls back to same-target backoff.
+func TestMalformedLeaderHintIgnored(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set(LeaderHeader, "not a url at all\x7f")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL, nil)
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 from the same-target retry", resp.StatusCode)
+	}
+	if hits.Load() != 2 {
+		t.Errorf("server saw %d attempts, want 2 (retry stayed on target)", hits.Load())
+	}
+}
+
 // statusThenDieTransport answers the first request with a synthetic
 // retryable status and fails every later one in transport — the exact
 // shape of a server that sheds load and then drops off the network.

@@ -202,6 +202,7 @@ func (s *Server) demote() {
 // elected at its next tick instead of waiting out the TTL.
 func (s *Server) resignLease() {
 	if s.role.Load() == leaseLeader {
+		//lint:ignore errflow best-effort courtesy on shutdown: if the release fails the TTL expires the lease anyway, and the process is exiting with nowhere to route the error
 		_ = s.store.Release(s.cfg.Fleet.Instance, s.store.Fence())
 	}
 }

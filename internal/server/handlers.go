@@ -127,14 +127,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // toLocation validates a wire location against the graph and converts it
-// to the internal convention.
+// to the internal convention. The error messages deliberately carry no
+// value derived from the location — they are echoed verbatim into HTTP
+// error responses, and a raw road index or offset (or even the selected
+// road's length) would leak the true position the Geo-I mechanism
+// exists to hide. privtaint enforces this.
 func toLocation(g *roadnet.Graph, l serial.Loc) (roadnet.Location, error) {
 	if l.Road < 0 || l.Road >= g.NumEdges() {
-		return roadnet.Location{}, fmt.Errorf("road %d out of range [0, %d)", l.Road, g.NumEdges())
+		return roadnet.Location{}, fmt.Errorf("road index out of range [0, %d)", g.NumEdges())
 	}
 	w := g.Edge(roadnet.EdgeID(l.Road)).Weight
 	if !(l.FromStart >= 0) || l.FromStart > w {
-		return roadnet.Location{}, fmt.Errorf("from_start %v outside road length %v", l.FromStart, w)
+		return roadnet.Location{}, errors.New("from_start outside road length")
 	}
 	return roadnet.LocationFromStart(g, roadnet.EdgeID(l.Road), l.FromStart), nil
 }

@@ -233,6 +233,7 @@ func (s *Store) lockLease() (*os.File, error) {
 }
 
 func unlockLease(f *os.File) {
+	//lint:ignore errflow unlock on an fd we are about to close: Close drops the flock regardless, so a failed explicit LOCK_UN changes nothing
 	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
 	f.Close()
 }

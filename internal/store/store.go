@@ -504,6 +504,7 @@ func (s *Store) syncDir() {
 		return
 	}
 	if d, derr := os.Open(s.dir); derr == nil {
+		//lint:ignore errflow directory-fsync failure only weakens power-loss durability of an already crash-consistent rename; see the function comment
 		_ = d.Sync()
 		d.Close()
 	}
